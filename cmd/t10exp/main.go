@@ -1,0 +1,51 @@
+// t10exp regenerates the paper's tables and figures on the simulated
+// chip.
+//
+// Usage:
+//
+//	t10exp -fig fig12          # one experiment
+//	t10exp -fig all            # every experiment
+//	t10exp -fig all -quick     # trimmed sweeps
+//	t10exp -list               # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exper"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment to run (see -list)")
+	quick := flag.Bool("quick", false, "trim batch/bandwidth sweeps")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range exper.Experiments() {
+			fmt.Println(name)
+		}
+		return
+	}
+	h, err := exper.New()
+	if err != nil {
+		fatal(err)
+	}
+	h.Quick = *quick
+	if *fig == "all" {
+		if err := h.RunAll(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := h.Run(*fig, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "t10exp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// t10sim compiles a model with a chosen compiler and simulates it,
+// printing the end-to-end latency breakdown (the data behind Figs 12-14).
+//
+// Usage:
+//
+//	t10sim -model BERT -batch 8 -compiler t10
+//	t10sim -model ResNet -batch 128 -compiler roller
+//	t10sim -model OPT-13B -batch 2 -compiler a100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/gpu"
+	"repro/internal/models"
+	"repro/internal/perf"
+	"repro/internal/vgm"
+	"repro/t10"
+)
+
+func main() {
+	model := flag.String("model", "BERT", "model name")
+	batch := flag.Int("batch", 1, "batch size")
+	compiler := flag.String("compiler", "t10", "t10 | roller | ansor | popart | a100")
+	perOp := flag.Bool("ops", false, "print per-operator breakdown")
+	flag.Parse()
+
+	m, err := models.Build(*model, *batch)
+	if err != nil {
+		fatal(err)
+	}
+	spec := device.IPUMK2()
+	var rep *perf.Report
+	switch strings.ToLower(*compiler) {
+	case "t10":
+		c, err := t10.New(spec, t10.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		exe, err := c.CompileModel(m)
+		if err != nil {
+			fatal(err)
+		}
+		rep = exe.Simulate()
+	case "roller":
+		rep, err = vgm.New(vgm.Roller, spec).CompileModel(m)
+	case "ansor":
+		rep, err = vgm.New(vgm.Ansor, spec).CompileModel(m)
+	case "popart":
+		rep, err = vgm.New(vgm.PopART, spec).CompileModel(m)
+	case "a100":
+		rep = gpu.Estimate(m, device.A100())
+	default:
+		fatal(fmt.Errorf("unknown compiler %q", *compiler))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Infeasible {
+		fmt.Printf("%s batch %d on %s: ✖ does not fit (%s)\n", *model, *batch, rep.Compiler, rep.Reason)
+		return
+	}
+	fmt.Printf("%s batch %d on %s\n", *model, *batch, rep.Compiler)
+	fmt.Printf("  latency:      %10.3f ms\n", rep.LatencyMs())
+	fmt.Printf("  compute:      %10.3f ms\n", rep.ComputeNs/1e6)
+	fmt.Printf("  transfers:    %10.3f ms (%.0f%%)\n", (rep.ExchangeNs+rep.SetupNs)/1e6, 100*rep.TransferFraction())
+	fmt.Printf("  sync:         %10.3f ms\n", rep.SyncNs/1e6)
+	if rep.BytesMoved > 0 {
+		fmt.Printf("  bytes moved:  %10.1f MB (avg %.2f GB/s per core)\n",
+			float64(rep.BytesMoved)/1e6, rep.AvgCoreBandwidthGBps(spec.Cores))
+	}
+	if rep.MemPeakPerCore > 0 {
+		fmt.Printf("  memory peak:  %10.1f KB/core (%.0f%% of %d KB)\n",
+			float64(rep.MemPeakPerCore)/1024,
+			100*float64(rep.MemPeakPerCore)/float64(spec.CoreMemBytes),
+			spec.CoreMemBytes/1024)
+	}
+	if rep.CompileTime > 0 {
+		fmt.Printf("  compile time: %10v\n", rep.CompileTime.Round(1e6))
+	}
+	if *perOp {
+		fmt.Println()
+		for _, o := range rep.Ops {
+			fmt.Printf("  %-12s ×%-3d %10.1f µs (compute %.1f, transfer %.1f)\n",
+				o.Name, o.Repeat, o.TotalNs/1e3, o.ComputeNs/1e3, (o.ExchangeNs+o.SetupNs)/1e3)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "t10sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package repro reproduces "Scaling Deep Learning Computation over the
+// Inter-core Connected Intelligence Processor with T10" (SOSP 2024) as a
+// pure-Go library.
+//
+// The public compiler API lives in repro/t10; the simulated chip, the
+// compute-shift core, the baselines and the experiment harness live
+// under internal/. See README.md for a tour, DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation.
+package repro

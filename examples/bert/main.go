@@ -1,0 +1,61 @@
+// End-to-end BERT-Large inference on the simulated IPU: T10 against the
+// three load-compute-store baselines, across batch sizes (the workload
+// of Fig 12).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/perf"
+	"repro/internal/vgm"
+	"repro/t10"
+)
+
+func main() {
+	spec := device.IPUMK2()
+	compiler, err := t10.New(spec, t10.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %10s %10s %10s %10s %10s\n",
+		"batch", "PopART", "Ansor", "Roller", "T10", "speedup")
+	for _, bs := range []int{1, 2, 4, 8} {
+		m := models.BERT(bs)
+
+		cells := make([]string, 0, 4)
+		var roller *perf.Report
+		for _, kind := range []vgm.Kind{vgm.PopART, vgm.Ansor, vgm.Roller} {
+			rep, err := vgm.New(kind, spec).CompileModel(models.BERT(bs))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep.Infeasible {
+				cells = append(cells, "✖")
+			} else {
+				cells = append(cells, fmt.Sprintf("%.2fms", rep.LatencyMs()))
+			}
+			if kind == vgm.Roller {
+				roller = rep
+			}
+		}
+
+		exe, err := compiler.CompileModel(m)
+		if err != nil {
+			cells = append(cells, "✖", "-")
+		} else {
+			rep := exe.Simulate()
+			cells = append(cells, fmt.Sprintf("%.2fms", rep.LatencyMs()))
+			if roller != nil && !roller.Infeasible {
+				cells = append(cells, fmt.Sprintf("%.2fx", roller.TotalNs/rep.TotalNs))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		fmt.Printf("%-6d %10s %10s %10s %10s %10s\n",
+			bs, cells[0], cells[1], cells[2], cells[3], cells[4])
+	}
+}

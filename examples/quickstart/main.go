@@ -1,0 +1,54 @@
+// Quickstart: compile one MatMul onto the simulated inter-core
+// connected chip, inspect the Pareto frontier of compute-shift plans,
+// and simulate the fastest one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codegen"
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+	"repro/internal/sim"
+	"repro/t10"
+)
+
+func main() {
+	// An IPU MK2: 1,472 cores, 624 KB each, 5.5 GB/s inter-core links.
+	spec := device.IPUMK2()
+	compiler, err := t10.New(spec, t10.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// C[m,n] += A[m,k] * B[k,n] — a BERT-sized FFN projection.
+	op := expr.MatMul("ffn", 1024, 1024, 4096, dtype.FP16)
+	fmt.Println("operator:", op)
+
+	result, err := compiler.SearchOp(op)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d candidate plans → %d Pareto-optimal:\n",
+		result.Spaces.Filtered, len(result.Pareto))
+	fmt.Printf("%-28s %10s %12s %7s\n", "Fop [m,k,n]", "mem/core", "est. time", "steps")
+	for _, c := range result.Pareto {
+		fmt.Printf("%-28s %8.1fKB %10.1fµs %7d\n",
+			fmt.Sprintf("%v", c.Plan.Fop),
+			float64(c.Est.MemPerCore)/1024, c.Est.TotalNs/1e3, c.Est.Steps)
+	}
+
+	// Lower the fastest plan onto the simulator and run it.
+	fastest := result.FastestWithin(int64(spec.CoreMemBytes))
+	prog, err := codegen.Lower(spec, fastest.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sim.Run(spec, prog)
+	fmt.Printf("\nsimulated: %.1f µs (compute %.1f, shifts %.1f, sync %.1f)\n",
+		st.TotalNs/1e3, st.ComputeNs/1e3, st.ExchangeNs/1e3, st.SyncNs/1e3)
+	fmt.Printf("per-core memory: %.1f KB of %d KB\n",
+		float64(st.MemPeakPerCore)/1024, spec.CoreMemBytes/1024)
+}

@@ -1,0 +1,328 @@
+package codegen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+	"repro/internal/mathutil"
+	"repro/internal/sim"
+)
+
+func mk2() *device.Spec { return device.IPUMK2() }
+
+func mustPlan(t *testing.T, e *expr.Expr, fop []int, fts [][]int) *core.Plan {
+	t.Helper()
+	p, err := core.NewPlan(e, fop, fts, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func randBuf(rng *rand.Rand, n int64) []float32 {
+	b := make([]float32, n)
+	for i := range b {
+		b[i] = rng.Float32()*2 - 1
+	}
+	return b
+}
+
+// runAndCompare executes the plan functionally and compares with EvalRef.
+func runAndCompare(t *testing.T, e *expr.Expr, p *core.Plan, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make(map[string][]float32)
+	for _, in := range e.Inputs {
+		inputs[in.Name] = randBuf(rng, e.TensorElems(in))
+	}
+	want, err := e.EvalRef(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Execute(p, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("output length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-3*(1+math.Abs(float64(want[i]))) {
+			t.Fatalf("plan %v: output[%d] = %f, want %f", p.Fop, i, got[i], want[i])
+		}
+	}
+}
+
+func TestFunctionalFig7MatMul(t *testing.T) {
+	// The paper's Fig 7 configuration must compute a correct MatMul.
+	e := expr.MatMul("mm", 2, 6, 3, dtype.FP32)
+	p := mustPlan(t, e, []int{2, 1, 3}, [][]int{{1, 3}, {2, 1}, nil})
+	runAndCompare(t, e, p, 1)
+}
+
+func TestFunctionalFig3Plans(t *testing.T) {
+	e := expr.MatMul("mm", 4, 2, 2, dtype.FP32)
+	runAndCompare(t, e, mustPlan(t, e, []int{2, 1, 1}, nil), 2)
+	runAndCompare(t, e, mustPlan(t, e, []int{2, 1, 1}, [][]int{nil, {1, 2}, nil}), 3)
+}
+
+func TestFunctionalSpatialReduction(t *testing.T) {
+	// Spatially partitioned reduction axis: partial sums must combine.
+	e := expr.MatMul("mm", 4, 8, 4, dtype.FP32)
+	p := mustPlan(t, e, []int{2, 4, 1}, nil)
+	if p.ReduceShare != 4 {
+		t.Fatalf("ReduceShare = %d", p.ReduceShare)
+	}
+	runAndCompare(t, e, p, 4)
+}
+
+func TestFunctionalDoubleRotation(t *testing.T) {
+	// A rotates on k, B rotates on k with a different temporal factor,
+	// and B also rotates on n: nested loops with two iterated axes.
+	e := expr.MatMul("mm", 4, 12, 4, dtype.FP32)
+	p := mustPlan(t, e, []int{4, 1, 2}, [][]int{
+		{1, 2}, // A (shared by Fop_n=2 cores): k split in 2
+		{2, 2}, // B (shared by Fop_m=4 cores): k split 2, n split 2
+		nil,
+	})
+	if len(p.LoopOrder) != 2 {
+		t.Fatalf("want 2 iterated axes, got %v", p.LoopOrder)
+	}
+	runAndCompare(t, e, p, 5)
+}
+
+func TestFunctionalConv(t *testing.T) {
+	// Convolution partitioned over output channels and height, kernel
+	// rotating along input channels.
+	e := expr.Conv2D("conv", 1, 4, 4, 8, 8, 3, 3, 1, dtype.FP32)
+	//                     b  f  c  h  w kh kw
+	p := mustPlan(t, e, []int{1, 2, 1, 4, 1, 1, 1}, [][]int{
+		nil,          // I
+		{1, 2, 1, 1}, // K: rotate along c (shared by Fop_h=4... c dim split 2)
+		nil,
+	})
+	runAndCompare(t, e, p, 6)
+}
+
+func TestFunctionalPoolAndReduce(t *testing.T) {
+	e := expr.Pool2D("pool", 1, 4, 4, 4, 2, 2, 2, dtype.FP32)
+	p := mustPlan(t, e, []int{1, 2, 2, 1, 1, 1}, nil)
+	runAndCompare(t, e, p, 7)
+
+	r := expr.ReduceSum("rs", 8, 16, dtype.FP32)
+	pr := mustPlan(t, r, []int{4, 1}, nil)
+	runAndCompare(t, r, pr, 8)
+}
+
+func TestFunctionalRandomMatMulPlans(t *testing.T) {
+	// Property: any divisible plan the planner accepts computes the right
+	// answer. This is the repository's core correctness property.
+	rng := rand.New(rand.NewSource(99))
+	count := 0
+	for iter := 0; iter < 200 && count < 60; iter++ {
+		m := []int{2, 4, 6, 8}[rng.Intn(4)]
+		k := []int{4, 6, 12, 24}[rng.Intn(4)]
+		n := []int{2, 3, 4, 6}[rng.Intn(4)]
+		e := expr.MatMul("mm", m, k, n, dtype.FP32)
+		fopM := divisorOf(rng, m)
+		fopK := divisorOf(rng, k)
+		fopN := divisorOf(rng, n)
+		var fts [][]int
+		shareA := fopN // A missing n
+		shareB := fopM // B missing m
+		subK := k / fopK
+		ftA := divisorOfBoth(rng, shareA, subK)
+		ftB := divisorOfBoth(rng, shareB, subK)
+		fts = [][]int{{1, ftA}, {ftB, 1}, nil}
+		p, err := core.NewPlan(e, []int{fopM, fopK, fopN}, fts, core.DefaultConfig())
+		if err != nil {
+			continue
+		}
+		count++
+		runAndCompare(t, e, p, int64(iter))
+	}
+	if count < 30 {
+		t.Fatalf("exercised only %d plans", count)
+	}
+}
+
+func divisorOf(rng *rand.Rand, n int) int {
+	d := mathutil.Divisors(n)
+	return d[rng.Intn(len(d))]
+}
+
+// divisorOfBoth picks a divisor of both a and b (so ft divides the
+// sharing degree and the sub-length).
+func divisorOfBoth(rng *rand.Rand, a, b int) int {
+	d := mathutil.Divisors(mathutil.GCD(a, b))
+	return d[rng.Intn(len(d))]
+}
+
+func TestLowerProducesPhases(t *testing.T) {
+	e := expr.MatMul("mm", 2, 6, 3, dtype.FP16)
+	p := mustPlan(t, e, []int{2, 1, 3}, [][]int{{1, 3}, {2, 1}, nil})
+	prog, err := Lower(mk2(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// one compute phase per step plus one shift phase per advance (tiles
+	// here are far below the shift buffer, so one chunk each)
+	var compute, exchange int
+	for _, ph := range prog.Phases {
+		if ph.ComputeNs > 0 {
+			compute++
+		}
+		if ph.Exch != nil {
+			exchange++
+		}
+	}
+	if compute != p.TotalSteps {
+		t.Errorf("compute phases = %d, want %d", compute, p.TotalSteps)
+	}
+	if exchange < p.TotalSteps {
+		t.Errorf("exchange phases = %d, want at least one per step", exchange)
+	}
+	st := sim.Run(mk2(), prog)
+	if st.ComputeNs <= 0 || st.ExchangeNs <= 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.MemPeakPerCore != p.MemPerCore() {
+		t.Errorf("mem peak %d, want %d", st.MemPeakPerCore, p.MemPerCore())
+	}
+}
+
+func TestLowerAllReducePhases(t *testing.T) {
+	e := expr.MatMul("mm", 4, 64, 4, dtype.FP16)
+	p := mustPlan(t, e, []int{1, 4, 1}, nil)
+	prog, err := Lower(mk2(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.TotalSteps + 2*(p.ReduceShare-1)
+	if len(prog.Phases) != want {
+		t.Errorf("phases = %d, want %d (incl. allreduce)", len(prog.Phases), want)
+	}
+}
+
+func TestLowerSplitsOversizedShiftTiles(t *testing.T) {
+	// A rotation shipping ~512KB tiles through a 8KB shift buffer must
+	// split each advance into many staged exchanges (§5 multi-copy shift).
+	e := expr.MatMul("mm", 8, 4096, 512, dtype.FP16)
+	p := mustPlan(t, e, []int{2, 1, 1}, [][]int{nil, {2, 1}, nil})
+	prog, err := Lower(mk2(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exchange int
+	for _, ph := range prog.Phases {
+		if ph.Exch != nil {
+			if ph.Exch.BytesPerCore > int64(p.Cfg.ShiftBufBytes) {
+				t.Fatalf("exchange of %d bytes exceeds the %d shift buffer",
+					ph.Exch.BytesPerCore, p.Cfg.ShiftBufBytes)
+			}
+			exchange++
+		}
+	}
+	if exchange <= p.TotalSteps {
+		t.Errorf("oversized tiles should split: %d exchanges for %d steps", exchange, p.TotalSteps)
+	}
+	// a big buffer collapses the splits
+	big := core.DefaultConfig()
+	big.ShiftBufBytes = 1 << 21
+	p2, err := core.NewPlan(e, []int{2, 1, 1}, [][]int{nil, {2, 1}, nil}, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := Lower(mk2(), p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog2.Phases) >= len(prog.Phases) {
+		t.Error("bigger shift buffer should need fewer phases")
+	}
+}
+
+func TestLowerRejectsOversizedPlan(t *testing.T) {
+	e := expr.MatMul("mm", 64, 64, 64, dtype.FP16)
+	p := mustPlan(t, e, []int{8, 1, 8}, nil) // 64 cores
+	small := mk2().Subset(16)
+	if _, err := Lower(small, p); err == nil {
+		t.Error("plan larger than the device must be rejected")
+	}
+}
+
+func TestTimingMatchesEstimateShape(t *testing.T) {
+	// The cost-model estimate and the simulator use different models, but
+	// they must agree on the gross shape: more temporal partitioning →
+	// more exchange time in both.
+	e := expr.MatMul("mm", 64, 256, 64, dtype.FP16)
+	spec := mk2()
+	var prevSim float64 = -1
+	for _, ft := range []int{2, 4, 8} {
+		p := mustPlan(t, e, []int{8, 1, 1}, [][]int{nil, {ft, 1}, nil})
+		prog, err := Lower(spec, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sim.Run(spec, prog)
+		if st.ExchangeNs < prevSim {
+			t.Errorf("ft=%d: exchange time decreased: %f < %f", ft, st.ExchangeNs, prevSim)
+		}
+		prevSim = st.ExchangeNs
+	}
+}
+
+func TestSetupAndTransitionPrograms(t *testing.T) {
+	spec := mk2()
+	if p := SetupProgram(spec, 1<<20, true); len(p.Phases) != 0 {
+		t.Error("same-plan setup should be free")
+	}
+	p := SetupProgram(spec, 1<<20, false)
+	if len(p.Phases) != 1 {
+		t.Fatal("setup should be one all-to-all")
+	}
+	st := sim.Run(spec, p)
+	if st.ExchangeNs <= 0 {
+		t.Error("setup must take time")
+	}
+	tr := TransitionProgram(spec, 0)
+	if len(tr.Phases) != 0 {
+		t.Error("empty transition should be free")
+	}
+}
+
+func TestStepAdvancesDigits(t *testing.T) {
+	e := expr.MatMul("mm", 4, 12, 4, dtype.FP16)
+	p := mustPlan(t, e, []int{4, 1, 2}, [][]int{{1, 2}, {2, 2}, nil})
+	// verify digits enumerate the mixed-radix counter exactly once
+	seen := make(map[[2]int]bool)
+	for t2 := 0; t2 < p.TotalSteps; t2++ {
+		d := stepAdvances(p, t2)
+		if len(d) != 2 {
+			t.Fatalf("digits = %v", d)
+		}
+		key := [2]int{d[0], d[1]}
+		if seen[key] {
+			t.Fatalf("digit pair %v repeated", key)
+		}
+		seen[key] = true
+	}
+	if len(seen) != p.TotalSteps {
+		t.Fatalf("saw %d digit pairs, want %d", len(seen), p.TotalSteps)
+	}
+	// the innermost axis advances every step
+	adv := advancingAxes(p, 0)
+	if len(adv) == 0 || adv[0] != len(p.LoopOrder)-1 {
+		t.Errorf("first advance should include the innermost axis: %v", adv)
+	}
+	// at the last step everything wraps
+	advLast := advancingAxes(p, p.TotalSteps-1)
+	if len(advLast) != len(p.LoopOrder) {
+		t.Errorf("final step should advance all axes: %v", advLast)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/expr"
+	"repro/internal/kernel"
+	"repro/internal/mathutil"
+)
+
+// Estimate is the planner's prediction for one plan, produced entirely
+// from the cost model (§4.3.1) — the simulator never runs during the
+// search.
+type Estimate struct {
+	ComputeNs   float64
+	ShiftNs     float64
+	AllReduceNs float64
+	SyncNs      float64
+	TotalNs     float64
+
+	Steps             int
+	MemPerCore        int64
+	ShiftBytesPerCore int64
+}
+
+// KernelTask builds the per-core, per-step sub-task descriptor for the
+// cost model and the simulator. The matrix-unit roles follow the first
+// input: spatial axes it contains become M (output rows), remaining
+// spatial axes become N (output columns), reduce axes become K.
+func (p *Plan) KernelTask() kernel.Task {
+	e := p.Expr
+	ext := p.SubTaskExtents()
+	t := kernel.Task{Kind: e.Kind, KH: 1, KW: 1, FLOPsPerElem: e.FLOPsPerPoint}
+
+	first := e.Inputs[0]
+	m, n, k := 1, 1, 1
+	elems := int64(1)
+	var gatherSteps int
+	for a, ax := range e.Axes {
+		switch ax.Kind {
+		case expr.Spatial:
+			elems *= int64(ext[a])
+			if expr.ContainsAxis(first, a) {
+				m *= ext[a]
+			} else {
+				n *= ext[a]
+			}
+		case expr.Reduce:
+			k *= ext[a]
+			// window axes (reduce axes inside compound dims) size the
+			// convolution kernel model
+			for _, in := range e.Inputs {
+				d := expr.AxisDim(in, a)
+				if d >= 0 && in.Dims[d].Compound() {
+					if t.KH == 1 {
+						t.KH = ext[a]
+					} else {
+						t.KW = ext[a]
+					}
+					break
+				}
+			}
+		case expr.Gather:
+			gatherSteps = p.StepsPerAxis[a]
+		}
+	}
+	t.M, t.N, t.K = m, n, k
+	t.Elems = elems
+
+	// reductions multiply the per-output-point work of vector kernels
+	if e.Kind == expr.KindPool || e.Kind == expr.KindReduce {
+		t.FLOPsPerElem = mathutil.Max(e.FLOPsPerPoint, 1) * k
+		t.Elems = elems
+	}
+	if e.Kind == expr.KindGather && gatherSteps > 1 {
+		// each step gathers only the rows whose table entries are in the
+		// current rotation window
+		t.M = mathutil.Max(1, mathutil.CeilDiv(m, gatherSteps))
+	}
+
+	// per-step operand traffic: the tile each tensor contributes
+	for _, in := range e.Inputs {
+		t.InBytes += p.tileBytes(in, ext)
+	}
+	t.OutBytes = p.tileBytes(e.Output, ext)
+	return t
+}
+
+// tileBytes returns the bytes of tensor tr touched by one sub-task with
+// the given per-axis extents.
+func (p *Plan) tileBytes(tr expr.TensorRef, ext []int) int64 {
+	n := int64(1)
+	for _, d := range tr.Dims {
+		n *= int64(p.Expr.DimSize(d, ext))
+	}
+	return n * elemSize(tr.Elem)
+}
+
+// shiftIters returns the multi-copy shift iterations needed for one
+// advance along axis a (§5): each rotating tensor stages at most
+// ShiftBufBytes per iteration.
+func (p *Plan) shiftIters(a int) int {
+	iters := 1
+	for ti := range p.Tensors {
+		rt := &p.Tensors[ti]
+		for _, d := range rt.RotDims {
+			if rt.Ref.Dims[d].Terms[0].Axis != a {
+				continue
+			}
+			tile := rt.PartBytes() * int64(p.RPAxis[a]) / int64(rt.PartShape[d])
+			it := int(mathutil.CeilDiv(int(tile), p.Cfg.ShiftBufBytes))
+			if it > iters {
+				iters = it
+			}
+		}
+	}
+	return iters
+}
+
+// Estimate prices the plan with the fitted cost model.
+func (p *Plan) Estimate(cm *costmodel.Set) Estimate {
+	spec := cm.Spec
+	est := Estimate{
+		Steps:             p.TotalSteps,
+		MemPerCore:        p.MemPerCore(),
+		ShiftBytesPerCore: p.ShiftBytesPerCore(),
+	}
+	task := p.KernelTask()
+	perStep := cm.PredictTask(p.Expr.Name, task)
+	est.ComputeNs = float64(p.TotalSteps) * perStep
+
+	syncs := float64(p.TotalSteps) // one per compute phase
+	for _, a := range p.LoopOrder {
+		adv := float64(p.Advances(a))
+		tile := p.ShiftTileBytes(a)
+		est.ShiftNs += adv * (float64(tile)/spec.LinkBytesPerNs() +
+			spec.ExchangeStartupNs*float64(p.shiftIters(a)))
+	}
+	if len(p.LoopOrder) > 0 {
+		syncs += float64(p.TotalSteps) // one per exchange phase
+	}
+
+	if p.ReduceShare > 1 {
+		out := &p.Tensors[len(p.Tensors)-1]
+		phases := 2 * (p.ReduceShare - 1)
+		bytes := 2 * out.SubBytes() * int64(p.ReduceShare-1) / int64(p.ReduceShare)
+		est.AllReduceNs = float64(bytes)/spec.LinkBytesPerNs() +
+			float64(phases)*spec.ExchangeStartupNs
+		syncs += float64(phases)
+	}
+
+	est.SyncNs = syncs * spec.SyncNs
+	est.TotalNs = est.ComputeNs + est.ShiftNs + est.AllReduceNs + est.SyncNs
+	return est
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mathutil"
+)
+
+// Grid maps between linear core ids [0, Cores) and per-axis grid
+// coordinates defined by Fop. The axis significance order is the plan's
+// GridOrder: order[0] varies slowest. Placement math lives entirely in
+// coordinate space, so the order only decides which logical neighbors
+// are physically adjacent — the lever the multi-chip optimization pulls.
+type Grid struct {
+	fop   []int
+	order []int
+}
+
+// Grid returns the plan's logical core grid.
+func (p *Plan) Grid() *Grid {
+	order := p.GridOrder
+	if len(order) != len(p.Fop) {
+		order = make([]int, len(p.Fop))
+		for i := range order {
+			order[i] = i
+		}
+	}
+	return &Grid{fop: p.Fop, order: order}
+}
+
+// Coords writes the grid coordinates of a core into out (allocating if
+// nil) and returns it.
+func (g *Grid) Coords(core int, out []int) []int {
+	if out == nil {
+		out = make([]int, len(g.fop))
+	}
+	for i := len(g.order) - 1; i >= 0; i-- {
+		a := g.order[i]
+		out[a] = core % g.fop[a]
+		core /= g.fop[a]
+	}
+	return out
+}
+
+// Core returns the linear id for grid coordinates.
+func (g *Grid) Core(coords []int) int {
+	id := 0
+	for _, a := range g.order {
+		id = id*g.fop[a] + coords[a]
+	}
+	return id
+}
+
+// Cores returns the grid size.
+func (g *Grid) Cores() int { return mathutil.Prod(g.fop...) }
+
+// RingCoord describes where a core sits within one tensor's sharing
+// group: the ring it belongs to and its position along each rotating dim.
+type RingCoord struct {
+	Ring int
+	// Pos is indexed like RTensor.RotDims.
+	Pos []int
+}
+
+// RingCoordOf computes the ring coordinate of tensor rt on the core with
+// the given grid coordinates. Cores sharing a sub-tensor differ exactly
+// in the coordinates of rt's missing axes; the flattened missing-axes
+// index is split into ∏Ft ring positions (fast half) and Rings ring ids
+// (slow half).
+func (p *Plan) RingCoordOf(rt *RTensor, coords []int) RingCoord {
+	e := 0
+	for _, a := range rt.Missing {
+		e = e*p.Fop[a] + coords[a]
+	}
+	ftProd := rt.FtProd()
+	pos := e % ftProd
+	rc := RingCoord{Ring: e / ftProd, Pos: make([]int, len(rt.RotDims))}
+	// row-major decomposition over rotating dims
+	for i := len(rt.RotDims) - 1; i >= 0; i-- {
+		ft := rt.Ft[rt.RotDims[i]]
+		rc.Pos[i] = pos % ft
+		pos /= ft
+	}
+	return rc
+}
+
+// ringNeighbor returns the core that is `delta` positions further along
+// tensor rt's ring for rotating dim index ri (same ring, same other
+// positions). coords must be the source core's grid coordinates.
+func (p *Plan) RingNeighbor(rt *RTensor, coords []int, ri, delta int) int {
+	rc := p.RingCoordOf(rt, coords)
+	ft := rt.Ft[rt.RotDims[ri]]
+	rc.Pos[ri] = ((rc.Pos[ri]+delta)%ft + ft) % ft
+	// recompose the flattened missing-axes index
+	pos := 0
+	for i := 0; i < len(rt.RotDims); i++ {
+		pos = pos*rt.Ft[rt.RotDims[i]] + rc.Pos[i]
+	}
+	e := rc.Ring*rt.FtProd() + pos
+	// spread back into missing-axes coordinates
+	out := append([]int(nil), coords...)
+	for i := len(rt.Missing) - 1; i >= 0; i-- {
+		a := rt.Missing[i]
+		out[a] = e % p.Fop[a]
+		e /= p.Fop[a]
+	}
+	return p.Grid().Core(out)
+}
+
+// WindowStart returns the initial sub-task window start along axis a on
+// the core with the given grid coordinates: the sum over tensors
+// rotating on a of partition-length × ring-position (the skewed,
+// generalized-Cannon placement of Fig 10). Every tensor rotating on a
+// uses the same window start, which is what keeps rotations aligned.
+func (p *Plan) WindowStart(a int, coords []int) int {
+	w := 0
+	for ti := range p.Tensors {
+		rt := &p.Tensors[ti]
+		for ri, d := range rt.RotDims {
+			if rt.Ref.Dims[d].Terms[0].Axis != a {
+				continue
+			}
+			rc := p.RingCoordOf(rt, coords)
+			w += rt.PartShape[d] * rc.Pos[ri]
+		}
+	}
+	return w % p.SubLen[a]
+}
+
+// ValidatePlacement proves the skewed placement consistent: for every
+// tensor and rotating dim, every rotation ring holds windows that tile
+// the sub-tensor exactly (all window starts congruent modulo the
+// partition length, quotients forming a complete residue system). This
+// is the §4.4 guarantee that "the initial placement of all sub-tensor
+// partitions satisfies the data dependency on each core" and stays
+// satisfied after every rotation step.
+func (p *Plan) ValidatePlacement() error {
+	grid := p.Grid()
+	coords := make([]int, len(p.Fop))
+	for ti := range p.Tensors {
+		rt := &p.Tensors[ti]
+		for ri, d := range rt.RotDims {
+			a := rt.Ref.Dims[d].Terms[0].Axis
+			ft := rt.Ft[d]
+			pl := rt.PartShape[d]
+			// ringKey → seen positions set (bitmask; ft ≤ 64 would limit,
+			// use map of slices to stay general)
+			type ringState struct {
+				offset int // common residue of window starts mod pl
+				seen   []bool
+			}
+			rings := make(map[string]*ringState)
+			for c := 0; c < grid.Cores(); c++ {
+				grid.Coords(c, coords)
+				rc := p.RingCoordOf(rt, coords)
+				key := ringKey(rt, coords, p.Fop, rc, ri)
+				w := p.WindowStart(a, coords)
+				st, ok := rings[key]
+				if !ok {
+					st = &ringState{offset: w % pl, seen: make([]bool, ft)}
+					rings[key] = st
+				}
+				if w%pl != st.offset {
+					return fmt.Errorf("plan %s: tensor %s dim %d: ring %s has misaligned window starts (%d vs residue %d)",
+						p.Expr.Name, rt.Ref.Name, d, key, w, st.offset)
+				}
+				q := ((w - st.offset) / pl) % ft
+				if st.seen[q] {
+					return fmt.Errorf("plan %s: tensor %s dim %d: ring %s holds partition %d twice",
+						p.Expr.Name, rt.Ref.Name, d, key, q)
+				}
+				st.seen[q] = true
+			}
+			for key, st := range rings {
+				for q, ok := range st.seen {
+					if !ok {
+						return fmt.Errorf("plan %s: tensor %s dim %d: ring %s misses partition %d",
+							p.Expr.Name, rt.Ref.Name, d, key, q)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ringKey identifies the rotation ring of tensor rt along rotating-dim
+// index ri that the given core belongs to: all grid coordinates that are
+// not part of the ring's own position, plus the ring id and the
+// positions along the other rotating dims.
+func ringKey(rt *RTensor, coords []int, fop []int, rc RingCoord, ri int) string {
+	buf := make([]byte, 0, 64)
+	appendInt := func(v int) {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), ',')
+	}
+	for a, c := range coords {
+		if fop[a] > 1 && containsInt(rt.Missing, a) {
+			continue // missing-axes coords are encoded via ring/pos below
+		}
+		appendInt(c)
+	}
+	appendInt(rc.Ring)
+	for j, p := range rc.Pos {
+		if j == ri {
+			continue
+		}
+		appendInt(p)
+	}
+	return string(buf)
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/expr"
+	"repro/internal/kernel"
+)
+
+// Set bundles one fitted model per operator type plus the communication
+// model and any user-registered custom cost functions. The planner holds
+// exactly one Set per target device.
+type Set struct {
+	Spec   *device.Spec
+	models map[expr.OpKind]*Model
+	acc    map[expr.OpKind]Accuracy
+	custom map[string]CostFunc
+}
+
+// trainSamples and evalSamples size the profiling runs; the paper uses
+// random shapes per operator type and reports the fit holds across them.
+const (
+	trainSamples = 300
+	evalSamples  = 120
+)
+
+// allKinds lists every operator type the compiler plans natively.
+var allKinds = []expr.OpKind{
+	expr.KindMatMul, expr.KindConv, expr.KindPool,
+	expr.KindReduce, expr.KindElementwise, expr.KindGather,
+}
+
+// NewSet profiles and fits models for all operator types on the device.
+func NewSet(spec *device.Spec) (*Set, error) {
+	s := &Set{
+		Spec:   spec,
+		models: make(map[expr.OpKind]*Model, len(allKinds)),
+		acc:    make(map[expr.OpKind]Accuracy, len(allKinds)),
+		custom: make(map[string]CostFunc),
+	}
+	for i, kind := range allKinds {
+		train := ProfileSamples(spec, kind, trainSamples, int64(1000+i))
+		eval := ProfileSamples(spec, kind, evalSamples, int64(2000+i))
+		m, acc, err := FitKind(kind, train, eval)
+		if err != nil {
+			return nil, err
+		}
+		s.models[kind] = m
+		s.acc[kind] = acc
+	}
+	return s, nil
+}
+
+// MustNewSet is NewSet panicking on error, for tests and examples.
+func MustNewSet(spec *device.Spec) *Set {
+	s, err := NewSet(spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// RegisterCustom installs a user-supplied cost function for the named
+// operator; it takes precedence over the fitted model.
+func (s *Set) RegisterCustom(opName string, f CostFunc) {
+	s.custom[opName] = f
+}
+
+// PredictTask estimates the per-core time of a sub-task for the named
+// operator in nanoseconds.
+func (s *Set) PredictTask(opName string, t kernel.Task) float64 {
+	if f, ok := s.custom[opName]; ok {
+		return f(t)
+	}
+	m, ok := s.models[t.Kind]
+	if !ok {
+		panic(fmt.Sprintf("costmodel: no model for kind %v", t.Kind))
+	}
+	return m.Predict(t)
+}
+
+// CommNs estimates the duration of a balanced shift moving the given
+// bytes per core: volume over link bandwidth plus the per-exchange fixed
+// cost.
+func (s *Set) CommNs(bytesPerCore int64) float64 {
+	if bytesPerCore <= 0 {
+		return 0
+	}
+	return float64(bytesPerCore)/s.Spec.LinkBytesPerNs() + s.Spec.ExchangeStartupNs
+}
+
+// Accuracy returns the held-out fit report for one operator type
+// (the data behind Fig 8).
+func (s *Set) Accuracy(kind expr.OpKind) Accuracy { return s.acc[kind] }
+
+// Kinds returns the operator types with fitted models.
+func (s *Set) Kinds() []expr.OpKind { return append([]expr.OpKind(nil), allKinds...) }

@@ -1,0 +1,184 @@
+// Package device describes the hardware targets of the compiler: the
+// inter-core connected intelligence processor (Graphcore IPU MK2 and its
+// V-IPU multi-chip variants, Table 3 of the paper) and the A100 GPU used
+// as the shared-memory comparison point (§6.6).
+//
+// The abstracted device interface of §4.4 (allocate / compute / shift) is
+// realized by internal/codegen against internal/sim; this package only
+// carries the numbers those layers need.
+package device
+
+import "fmt"
+
+// Spec describes one inter-core connected chip (or a V-IPU made of
+// several chips presented to the compiler as a single large chip, §6.5).
+type Spec struct {
+	Name string
+
+	// Cores is the number of independent cores (IPU "tiles"). For a
+	// V-IPU this is the total across chips.
+	Cores int
+
+	// CoreMemBytes is the per-core scratchpad capacity.
+	CoreMemBytes int
+
+	// LinkGBps is the bandwidth, in GB/s, at which one core can send to
+	// (or receive from) remote cores. 1472 cores × 5.5 GB/s ≈ 8 TB/s
+	// aggregate (§2.1).
+	LinkGBps float64
+
+	// ClockGHz is the core clock.
+	ClockGHz float64
+
+	// AMPMACsPerCycle is the per-core FP16 multiply-accumulate throughput
+	// of the matrix unit (AMP): 1472 × 64 MACs × 2 FLOPs × 1.325 GHz ≈
+	// 250 TFLOPS, matching Table 3.
+	AMPMACsPerCycle int
+
+	// VectorFP16PerCycle is the per-core FP16 vector-unit throughput used
+	// by elementwise, pooling and reduction kernels.
+	VectorFP16PerCycle int
+
+	// LoadStoreBytesPerCycle is the local-memory streaming bandwidth per
+	// core, which bounds memory-bound kernels.
+	LoadStoreBytesPerCycle int
+
+	// SyncNs is the latency of one BSP superstep boundary (compute →
+	// exchange sync).
+	SyncNs float64
+
+	// ExchangeStartupNs is the fixed cost to launch one exchange phase.
+	ExchangeStartupNs float64
+
+	// OffChipGBps is the host/streaming memory bandwidth (8 GB/s on MK2;
+	// §6.8 emulates faster HBM).
+	OffChipGBps float64
+
+	// Chips and InterChipGBps describe V-IPU configurations: exchanges
+	// crossing a chip boundary are limited by the IPU-Link bandwidth
+	// (160 GB/s, §6.5).
+	Chips         int
+	InterChipGBps float64
+}
+
+// IPUMK2 returns the Graphcore IPU MK2 specification from Table 3.
+func IPUMK2() *Spec {
+	return &Spec{
+		Name:                   "IPU-MK2",
+		Cores:                  1472,
+		CoreMemBytes:           624 * 1024,
+		LinkGBps:               5.5,
+		ClockGHz:               1.325,
+		AMPMACsPerCycle:        64,
+		VectorFP16PerCycle:     8,
+		LoadStoreBytesPerCycle: 16,
+		SyncNs:                 600,
+		ExchangeStartupNs:      250,
+		OffChipGBps:            8,
+		Chips:                  1,
+		InterChipGBps:          160,
+	}
+}
+
+// VIPU returns a virtual IPU exposing `chips` MK2 chips as one device
+// (2,944 or 5,888 cores in §6.5).
+func VIPU(chips int) *Spec {
+	s := IPUMK2()
+	s.Name = fmt.Sprintf("V-IPU-%dx", chips)
+	s.Cores *= chips
+	s.Chips = chips
+	return s
+}
+
+// Subset returns a copy of s restricted to the given number of cores
+// (used to emulate smaller chips, §6.5). Core memory per core is
+// unchanged.
+func (s *Spec) Subset(cores int) *Spec {
+	c := *s
+	c.Name = fmt.Sprintf("%s/%d", s.Name, cores)
+	c.Cores = cores
+	if cores <= 1472 {
+		c.Chips = 1
+	}
+	return &c
+}
+
+// PeakTFLOPS returns the chip's peak FP16 throughput in TFLOPS.
+func (s *Spec) PeakTFLOPS() float64 {
+	return 2 * float64(s.AMPMACsPerCycle) * float64(s.Cores) * s.ClockGHz / 1e3
+}
+
+// AggregateLinkGBps returns the all-to-all inter-core bandwidth.
+func (s *Spec) AggregateLinkGBps() float64 {
+	return float64(s.Cores) * s.LinkGBps
+}
+
+// LinkBytesPerNs returns the per-core link bandwidth in bytes/ns.
+func (s *Spec) LinkBytesPerNs() float64 { return s.LinkGBps }
+
+// CoresPerChip returns the number of cores on each physical chip.
+func (s *Spec) CoresPerChip() int {
+	if s.Chips <= 1 {
+		return s.Cores
+	}
+	return s.Cores / s.Chips
+}
+
+// TotalMemBytes returns the aggregate on-chip memory.
+func (s *Spec) TotalMemBytes() int64 {
+	return int64(s.Cores) * int64(s.CoreMemBytes)
+}
+
+// Validate checks the specification for obviously bad values.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Cores <= 0:
+		return fmt.Errorf("device %s: no cores", s.Name)
+	case s.CoreMemBytes <= 0:
+		return fmt.Errorf("device %s: no core memory", s.Name)
+	case s.LinkGBps <= 0:
+		return fmt.Errorf("device %s: no link bandwidth", s.Name)
+	case s.ClockGHz <= 0:
+		return fmt.Errorf("device %s: no clock", s.Name)
+	case s.Chips <= 0:
+		return fmt.Errorf("device %s: no chips", s.Name)
+	case s.Chips > 1 && s.Cores%s.Chips != 0:
+		return fmt.Errorf("device %s: %d cores not divisible across %d chips", s.Name, s.Cores, s.Chips)
+	}
+	return nil
+}
+
+// GPUSpec is the roofline description of a shared-memory accelerator
+// (§6.6, Table 3).
+type GPUSpec struct {
+	Name string
+
+	// PeakFP16TFLOPS is the tensor-core peak.
+	PeakFP16TFLOPS float64
+
+	// MatMulEfficiency discounts the peak for achievable large-matmul
+	// throughput through a tuned library (TensorRT).
+	MatMulEfficiency float64
+
+	// HBMGBps is the off-chip memory bandwidth.
+	HBMGBps float64
+
+	// L2Bytes is the on-chip global cache; weights that fit are loaded
+	// from HBM once and reused across the batch.
+	L2Bytes int64
+
+	// KernelLaunchNs is the fixed per-operator overhead.
+	KernelLaunchNs float64
+}
+
+// A100 returns the NVIDIA A100 specification from Table 3.
+func A100() *GPUSpec {
+	return &GPUSpec{
+		Name:             "A100",
+		PeakFP16TFLOPS:   312,
+		MatMulEfficiency: 0.62,
+		HBMGBps:          2000,
+		L2Bytes:          40 * 1024 * 1024,
+		KernelLaunchNs:   4500,
+	}
+}

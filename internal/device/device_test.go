@@ -1,0 +1,95 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMK2MatchesTable3(t *testing.T) {
+	s := IPUMK2()
+	if s.Cores != 1472 {
+		t.Errorf("cores = %d", s.Cores)
+	}
+	if s.CoreMemBytes != 624*1024 {
+		t.Errorf("core mem = %d", s.CoreMemBytes)
+	}
+	if got := s.TotalMemBytes(); got < 890<<20 || got > 900<<20 {
+		t.Errorf("total mem = %d, want ~896MB", got)
+	}
+	if s.LinkGBps != 5.5 {
+		t.Errorf("link = %f", s.LinkGBps)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVIPUConfigs(t *testing.T) {
+	for _, chips := range []int{2, 4} {
+		v := VIPU(chips)
+		if v.Cores != 1472*chips || v.Chips != chips {
+			t.Errorf("VIPU(%d) = %d cores %d chips", chips, v.Cores, v.Chips)
+		}
+		if v.CoresPerChip() != 1472 {
+			t.Errorf("VIPU(%d) per-chip = %d", chips, v.CoresPerChip())
+		}
+		if err := v.Validate(); err != nil {
+			t.Errorf("VIPU(%d): %v", chips, err)
+		}
+	}
+}
+
+func TestSubsetDoesNotMutateOriginal(t *testing.T) {
+	s := IPUMK2()
+	sub := s.Subset(368)
+	if s.Cores != 1472 {
+		t.Error("Subset mutated the original spec")
+	}
+	if sub.Cores != 368 {
+		t.Errorf("subset cores = %d", sub.Cores)
+	}
+	// peak scales linearly with cores
+	if ratio := sub.PeakTFLOPS() / s.PeakTFLOPS(); ratio < 0.24 || ratio > 0.26 {
+		t.Errorf("peak ratio = %f, want 0.25", ratio)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Cores = 0 },
+		func(s *Spec) { s.CoreMemBytes = 0 },
+		func(s *Spec) { s.LinkGBps = 0 },
+		func(s *Spec) { s.ClockGHz = 0 },
+		func(s *Spec) { s.Chips = 0 },
+		func(s *Spec) { s.Chips = 3 }, // 1472*... not divisible? 1472 % 3 != 0
+	}
+	for i, mutate := range bad {
+		s := IPUMK2()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: bad spec accepted", i)
+		}
+	}
+}
+
+func TestLinkBytesPerNsProperty(t *testing.T) {
+	// bytes/ns numerically equals GB/s for any positive bandwidth
+	f := func(bw uint8) bool {
+		s := IPUMK2()
+		s.LinkGBps = float64(bw%100) + 0.5
+		return s.LinkBytesPerNs() == s.LinkGBps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestA100Spec(t *testing.T) {
+	g := A100()
+	if g.PeakFP16TFLOPS != 312 || g.HBMGBps != 2000 {
+		t.Errorf("A100 = %+v", g)
+	}
+	if g.L2Bytes != 40<<20 {
+		t.Errorf("L2 = %d", g.L2Bytes)
+	}
+}

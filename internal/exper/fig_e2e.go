@@ -1,0 +1,236 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/models"
+	"repro/internal/perf"
+	"repro/internal/vgm"
+)
+
+func init() {
+	registry["fig12"] = (*Harness).Fig12
+	registry["fig13"] = (*Harness).Fig13
+	registry["fig14"] = (*Harness).Fig14
+	registry["fig15"] = (*Harness).Fig15
+	registry["fig16"] = (*Harness).Fig16
+}
+
+// Fig12 regenerates the end-to-end latency comparison: every model ×
+// batch size × {PopART, Ansor, Roller, T10}.
+func (h *Harness) Fig12() (*Table, error) {
+	t := &Table{
+		Title: "Fig 12: inference latency (ms); ✖ = does not fit on chip",
+		Cols:  []string{"Model", "Batch", "PopART", "Ansor", "Roller", "T10", "T10/Roller"},
+	}
+	var speedups []float64
+	for _, model := range models.Table2() {
+		for _, bs := range h.batches(model) {
+			pop, err := h.runVGM(h.Spec, vgm.PopART, model, bs)
+			if err != nil {
+				return nil, err
+			}
+			ans, err := h.runVGM(h.Spec, vgm.Ansor, model, bs)
+			if err != nil {
+				return nil, err
+			}
+			rol, err := h.runVGM(h.Spec, vgm.Roller, model, bs)
+			if err != nil {
+				return nil, err
+			}
+			t10r, err := h.runT10(h.Spec, model, bs)
+			if err != nil {
+				return nil, err
+			}
+			speedup := "-"
+			if !rol.Infeasible && !t10r.Infeasible {
+				s := rol.TotalNs / t10r.TotalNs
+				speedups = append(speedups, s)
+				speedup = fmt.Sprintf("%.2fx", s)
+			}
+			t.Add(model, bs, latencyCell(pop), latencyCell(ans), latencyCell(rol),
+				latencyCell(t10r), speedup)
+		}
+	}
+	if len(speedups) > 0 {
+		logSum := 0.0
+		max := 0.0
+		for _, s := range speedups {
+			logSum += math.Log(s)
+			if s > max {
+				max = s
+			}
+		}
+		mean := math.Exp(logSum / float64(len(speedups)))
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"T10 vs Roller: geo-mean %.2fx, max %.2fx (paper: avg 1.69x, up to 3.3x)", mean, max))
+	}
+	return t, nil
+}
+
+// Fig13 regenerates the latency breakdown: in-core computation vs
+// inter-core transfer, Roller vs T10.
+func (h *Harness) Fig13() (*Table, error) {
+	t := &Table{
+		Title: "Fig 13: latency breakdown (ms)",
+		Cols: []string{"Model", "Batch", "Roller compute", "Roller transfer", "Roller transfer%",
+			"T10 compute", "T10 transfer", "T10 transfer%"},
+	}
+	for _, model := range models.Table2() {
+		for _, bs := range firstMidLast(h.batches(model)) {
+			rol, err := h.runVGM(h.Spec, vgm.Roller, model, bs)
+			if err != nil {
+				return nil, err
+			}
+			t10r, err := h.runT10(h.Spec, model, bs)
+			if err != nil {
+				return nil, err
+			}
+			if rol.Infeasible || t10r.Infeasible {
+				continue
+			}
+			t.Add(model, bs,
+				rol.ComputeNs/1e6, (rol.ExchangeNs+rol.SetupNs)/1e6,
+				fmt.Sprintf("%.0f%%", 100*rol.TransferFraction()),
+				t10r.ComputeNs/1e6, (t10r.ExchangeNs+t10r.SetupNs)/1e6,
+				fmt.Sprintf("%.0f%%", 100*t10r.TransferFraction()))
+		}
+	}
+	t.Notes = append(t.Notes, "paper: VGM transfers take 50–74% of time; T10 reduces that to 8–43%")
+	return t, nil
+}
+
+// Fig14 regenerates the average per-core inter-core bandwidth during
+// transfers.
+func (h *Harness) Fig14() (*Table, error) {
+	t := &Table{
+		Title: "Fig 14: avg inter-core bandwidth per core during transfers (GB/s)",
+		Cols:  []string{"Model", "Batch", "Roller", "T10"},
+	}
+	for _, model := range models.Table2() {
+		for _, bs := range firstMidLast(h.batches(model)) {
+			rol, err := h.runVGM(h.Spec, vgm.Roller, model, bs)
+			if err != nil {
+				return nil, err
+			}
+			t10r, err := h.runT10(h.Spec, model, bs)
+			if err != nil {
+				return nil, err
+			}
+			if rol.Infeasible || t10r.Infeasible {
+				continue
+			}
+			t10Cell := "- (no rotation)"
+			if t10r.ShiftBytes > int64(h.Spec.Cores)*4096 {
+				t10Cell = formatFloat(t10r.AvgCoreBandwidthGBps(h.Spec.Cores))
+			}
+			t.Add(model, bs, rol.AvgCoreBandwidthGBps(h.Spec.Cores), t10Cell)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"roofline 5.5 GB/s; paper: T10 4.42–4.73, Roller 2.61–3.87",
+		"\"- (no rotation)\": at small batches the chip has so much spare memory that the optimal plans replicate instead of rotating")
+	return t, nil
+}
+
+// Fig15 regenerates the per-operator speedup distribution of T10 over
+// Roller at the smallest and largest feasible batch of each model.
+func (h *Harness) Fig15() (*Table, error) {
+	t := &Table{
+		Title: "Fig 15: distribution of per-operator speedup, T10 vs Roller",
+		Cols:  []string{"Model", "Batch", "p10", "p50", "p90", "max", "% ops improved"},
+	}
+	for _, model := range models.Table2() {
+		bs := h.batches(model)
+		for _, b := range []int{bs[0], bs[len(bs)-1]} {
+			rol, err := h.runVGM(h.Spec, vgm.Roller, model, b)
+			if err != nil {
+				return nil, err
+			}
+			t10r, err := h.runT10(h.Spec, model, b)
+			if err != nil {
+				return nil, err
+			}
+			if rol.Infeasible || t10r.Infeasible {
+				continue
+			}
+			ratios := opSpeedups(rol, t10r)
+			if len(ratios) == 0 {
+				continue
+			}
+			sort.Float64s(ratios)
+			improved := 0
+			for _, r := range ratios {
+				if r > 1 {
+					improved++
+				}
+			}
+			t.Add(model, b,
+				quantile(ratios, 0.10), quantile(ratios, 0.50), quantile(ratios, 0.90),
+				ratios[len(ratios)-1],
+				fmt.Sprintf("%.0f%%", 100*float64(improved)/float64(len(ratios))))
+			if b == bs[0] && bs[0] == bs[len(bs)-1] {
+				break
+			}
+		}
+	}
+	t.Notes = append(t.Notes, "paper: >80% of operators improve, <10% slow down")
+	return t, nil
+}
+
+// opSpeedups matches per-op reports by position within each model run.
+func opSpeedups(rol, t10r *perf.Report) []float64 {
+	n := len(rol.Ops)
+	if len(t10r.Ops) < n {
+		n = len(t10r.Ops)
+	}
+	var out []float64
+	for i := 0; i < n; i++ {
+		if t10r.Ops[i].TotalNs > 0 && rol.Ops[i].TotalNs > 0 {
+			out = append(out, rol.Ops[i].TotalNs/t10r.Ops[i].TotalNs)
+		}
+	}
+	return out
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Fig16 regenerates the compilation-time measurement.
+func (h *Harness) Fig16() (*Table, error) {
+	t := &Table{
+		Title: "Fig 16: T10 compilation time",
+		Cols:  []string{"Model", "Batch", "Compile (s)"},
+	}
+	for _, model := range models.Table2() {
+		for _, bs := range firstMidLast(h.batches(model)) {
+			rep, err := h.runT10(h.Spec, model, bs)
+			if err != nil {
+				return nil, err
+			}
+			if rep.Infeasible {
+				t.Add(model, bs, "✖")
+				continue
+			}
+			t.Add(model, bs, rep.CompileTime.Seconds())
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: hours on a 16-core CPU against real hardware; our substrate compiles in seconds — the search-space sizes (fig18), not wall-clock, are the comparable quantity")
+	return t, nil
+}
+
+// firstMidLast trims a batch list to its first, middle and last entries.
+func firstMidLast(bs []int) []int {
+	if len(bs) <= 3 {
+		return bs
+	}
+	return []int{bs[0], bs[len(bs)/2], bs[len(bs)-1]}
+}

@@ -1,0 +1,131 @@
+package exper
+
+import (
+	"fmt"
+
+	"repro/internal/models"
+	"repro/internal/vgm"
+)
+
+func init() {
+	registry["table2"] = (*Harness).Table2
+	registry["table3"] = (*Harness).Table3
+	registry["fig2"] = (*Harness).Fig2
+	registry["fig8"] = (*Harness).Fig8
+}
+
+// Table2 regenerates the model zoo (Table 2): parameter counts per
+// workload.
+func (h *Harness) Table2() (*Table, error) {
+	t := &Table{Title: "Table 2: DNN models", Cols: []string{"Model", "Params", "Paper"}}
+	paper := map[string]string{
+		"BERT": "340M", "ViT": "86M", "ResNet": "11M", "NeRF": "24K",
+	}
+	for _, name := range models.Table2() {
+		m, err := models.Build(name, 1)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(name, humanCount(m.ParamCount()), paper[name])
+	}
+	for _, cfg := range models.LLMConfigs() {
+		m := models.LLMDecode(cfg, 1)
+		t.Add(fmt.Sprintf("%s (%d layers)", cfg.Name, cfg.Layers),
+			humanCount(m.ParamCount()), "subset, §6.7")
+	}
+	return t, nil
+}
+
+func humanCount(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1fB", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.0fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.0fK", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// Table3 regenerates the hardware comparison (Table 3).
+func (h *Harness) Table3() (*Table, error) {
+	s := h.Spec
+	t := &Table{Title: "Table 3: hardware specifications", Cols: []string{"Metric", "IPU MK2", "A100"}}
+	t.Add("Local memory (total)", fmt.Sprintf("%dMB", s.TotalMemBytes()>>20), "20.25MB")
+	t.Add("Cores", s.Cores, 108)
+	t.Add("FP16 TFLOPS", fmt.Sprintf("%.0f", s.PeakTFLOPS()), "312")
+	t.Add("Inter-core B/W per core", fmt.Sprintf("%.1fGB/s", s.LinkGBps), "n/a")
+	t.Add("Aggregate inter-core B/W", fmt.Sprintf("%.1fTB/s", s.AggregateLinkGBps()/1000), "n/a")
+	t.Add("Off-chip B/W", fmt.Sprintf("%.0fGB/s", s.OffChipGBps), "2000GB/s")
+	return t, nil
+}
+
+// Fig2 regenerates the per-core VGM memory-footprint split: the
+// active-operator region (recoverable by removing the VGM) versus the
+// sub-operator working set, for the paper's representative operators.
+func (h *Harness) Fig2() (*Table, error) {
+	t := &Table{
+		Title: "Fig 2(b): per-core memory footprint under load-compute-store (VGM)",
+		Cols:  []string{"Operator", "Active KB", "Sub-op KB", "Ratio", "Paper ratio"},
+	}
+	cases := []struct {
+		model      string
+		batch      int
+		op         string
+		paperRatio string
+	}{
+		{"BERT", 8, "ffn1", "29.2%"},
+		{"ViT", 128, "ffn1", "22.0%"},
+		{"ResNet", 128, "s2a1", "60.4%"},
+		{"NeRF", 1, "hidden", "138.5%"},
+		{"OPT-13B", 1, "ffn1", "179.8%"},
+	}
+	c := vgm.New(vgm.Roller, h.Spec)
+	for _, cs := range cases {
+		m, err := models.Build(cs.model, cs.batch)
+		if err != nil {
+			return nil, err
+		}
+		idx := findOp(m, cs.op)
+		if idx < 0 {
+			return nil, fmt.Errorf("fig2: no op %s in %s", cs.op, cs.model)
+		}
+		active, subOp, err := c.Fig2Stats(m, idx)
+		if err != nil {
+			// the op does not fit under VGM at this batch: report the
+			// reservation alone
+			t.Add(fmt.Sprintf("%s-BS%d %s", cs.model, cs.batch, cs.op),
+				float64(active)/1024, "✖", "-", cs.paperRatio)
+			continue
+		}
+		ratio := 100 * float64(active) / float64(subOp)
+		t.Add(fmt.Sprintf("%s-BS%d %s", cs.model, cs.batch, cs.op),
+			float64(active)/1024, float64(subOp)/1024,
+			fmt.Sprintf("%.1f%%", ratio), cs.paperRatio)
+	}
+	t.Notes = append(t.Notes,
+		"Ratio = potential sub-operator growth from removing the VGM (§2.2)")
+	return t, nil
+}
+
+// Fig8 regenerates the cost-model accuracy experiment: held-out R² and
+// mean error per operator type.
+func (h *Harness) Fig8() (*Table, error) {
+	c, err := h.t10For(h.Spec)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Fig 8: cost model accuracy (held-out sub-task shapes)",
+		Cols:  []string{"Operator type", "R²", "MAPE", "Samples"},
+	}
+	for _, kind := range c.CM.Kinds() {
+		acc := c.CM.Accuracy(kind)
+		t.Add(kind.String(), fmt.Sprintf("%.4f", acc.R2),
+			fmt.Sprintf("%.1f%%", 100*acc.MAPE), acc.N)
+	}
+	t.Notes = append(t.Notes,
+		"paper: near-perfect for most operators, worst for convolution (vendor black-box kernels)")
+	return t, nil
+}

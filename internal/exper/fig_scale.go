@@ -1,0 +1,224 @@
+package exper
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/gpu"
+	"repro/internal/hbm"
+	"repro/internal/models"
+	"repro/internal/perf"
+	"repro/internal/vgm"
+)
+
+func init() {
+	registry["fig21"] = (*Harness).Fig21
+	registry["fig22"] = (*Harness).Fig22
+	registry["fig23"] = (*Harness).Fig23
+	registry["fig24"] = (*Harness).Fig24
+}
+
+// Fig21 regenerates the scalability experiment: latency across device
+// sizes (368..5888 cores; beyond 1472 cores the chips connect over the
+// 160 GB/s IPU-Link).
+func (h *Harness) Fig21() (*Table, error) {
+	t := &Table{
+		Title: "Fig 21: scalability across core counts (latency ms)",
+		Cols:  []string{"Model", "Cores", "Roller", "T10", "T10 transfer ms"},
+	}
+	specs := []*device.Spec{
+		device.IPUMK2().Subset(368),
+		device.IPUMK2().Subset(736),
+		device.IPUMK2(),
+		device.VIPU(2),
+		device.VIPU(4),
+	}
+	for _, model := range []string{"BERT", "ResNet"} {
+		bs := h.batches(model)[0]
+		for _, spec := range specs {
+			rol, err := h.runVGM(spec, vgm.Roller, model, bs)
+			if err != nil {
+				return nil, err
+			}
+			t10r, err := h.runT10(spec, model, bs)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(fmt.Sprintf("%s-BS%d", model, bs), spec.Cores,
+				latencyCell(rol), latencyCell(t10r),
+				(t10r.ExchangeNs+t10r.SetupNs)/1e6)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: both scale with cores; Roller can regress across the chip boundary, T10 keeps transfer flat")
+	return t, nil
+}
+
+// Fig22 regenerates the IPU+T10 vs A100+TensorRT comparison.
+func (h *Harness) Fig22() (*Table, error) {
+	t := &Table{
+		Title: "Fig 22: IPU+T10 vs A100+TensorRT (latency ms)",
+		Cols:  []string{"Model", "Batch", "A100", "IPU+T10", "IPU/A100 speedup"},
+	}
+	a100 := device.A100()
+	for _, model := range models.Table2() {
+		for _, bs := range h.batches(model) {
+			m, err := models.Build(model, bs)
+			if err != nil {
+				return nil, err
+			}
+			gpuRep := gpu.Estimate(m, a100)
+			ipuRep, err := h.runT10(h.Spec, model, bs)
+			if err != nil {
+				return nil, err
+			}
+			cell := "-"
+			if !ipuRep.Infeasible {
+				cell = fmt.Sprintf("%.2fx", gpuRep.TotalNs/ipuRep.TotalNs)
+			}
+			t.Add(model, bs, gpuRep.LatencyMs(), latencyCell(ipuRep), cell)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: IPU+T10 wins at small batch (up to 2.44x); A100 wins once compute-bound at large batch")
+	return t, nil
+}
+
+// Fig23 regenerates the LLM decoding comparison (§6.7).
+func (h *Harness) Fig23() (*Table, error) {
+	t := &Table{
+		Title: "Fig 23: LLM layer decoding, IPU+T10 vs A100+TensorRT (latency ms)",
+		Cols:  []string{"Model", "Batch", "A100", "IPU+T10", "IPU/A100 speedup"},
+	}
+	a100 := device.A100()
+	c, err := h.t10For(h.Spec)
+	if err != nil {
+		return nil, err
+	}
+	batches := []int{2, 8, 32, 128}
+	if h.Quick {
+		batches = []int{2, 128}
+	}
+	for _, cfg := range models.LLMConfigs() {
+		for _, bs := range batches {
+			m := models.LLMDecode(cfg, bs)
+			gpuRep := gpu.Estimate(m, a100)
+			var ipuRep *perf.Report
+			exe, err := c.CompileModel(m)
+			if err != nil {
+				ipuRep = &perf.Report{Infeasible: true, Reason: err.Error()}
+			} else {
+				ipuRep = exe.Simulate()
+			}
+			cell := "-"
+			if !ipuRep.Infeasible {
+				cell = fmt.Sprintf("%.2fx", gpuRep.TotalNs/ipuRep.TotalNs)
+			}
+			t.Add(cfg.Name, bs, gpuRep.LatencyMs(), latencyCell(ipuRep), cell)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: up to 16.38x lower latency (3.10x average) at decode batches; A100 catches up at large batch")
+	return t, nil
+}
+
+// Fig24 regenerates the HBM emulation (§6.8): OPT decoding with weights
+// streamed from emulated HBM under Single-Op and Inter-Op prefetching,
+// for Roller and T10 execution plans.
+func (h *Harness) Fig24() (*Table, error) {
+	t := &Table{
+		Title: "Fig 24: emulated HBM streaming (latency ms)",
+		Cols: []string{"Model", "Batch", "HBM GB/s",
+			"Roller Single", "Roller Inter", "T10 Single", "T10 Inter"},
+	}
+	bandwidths := []float64{200, 400, 800, 1600, 3200, 6400}
+	batches := []int{8, 64, 512}
+	if h.Quick {
+		bandwidths = []float64{200, 1600, 6400}
+		batches = []int{8, 512}
+	}
+	const prefetchBuf = 298 << 20
+	for _, name := range []string{"OPT-1.3B", "OPT-13B"} {
+		for _, bs := range batches {
+			t10Ops, err := h.hbmOpsT10(name, bs)
+			if err != nil {
+				return nil, err
+			}
+			rolOps, err := h.hbmOpsVGM(name, bs)
+			if err != nil {
+				return nil, err
+			}
+			for _, bw := range bandwidths {
+				row := []interface{}{name, bs, bw}
+				for _, ops := range [][]hbm.OpCost{rolOps, t10Ops} {
+					for _, mode := range []hbm.Mode{hbm.SingleOp, hbm.InterOp} {
+						res, err := hbm.Emulate(ops, hbm.Config{
+							HBMGBps: bw, PrefetchBufBytes: prefetchBuf, Mode: mode,
+						})
+						if err != nil {
+							row = append(row, "✖")
+							continue
+						}
+						row = append(row, res.TotalNs/1e6)
+					}
+				}
+				t.Add(row...)
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: grouping (Inter-Op) wins at low bandwidth; compute-bound at high bandwidth where T10's plans win")
+	return t, nil
+}
+
+// hbmOpsT10 expands a T10-compiled model into the per-instance operator
+// timeline for the HBM emulation.
+func (h *Harness) hbmOpsT10(model string, bs int) ([]hbm.OpCost, error) {
+	rep, err := h.runT10(h.Spec, model, bs)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Infeasible {
+		return nil, fmt.Errorf("exper: %s BS%d infeasible under T10", model, bs)
+	}
+	return expandOps(rep, model, bs)
+}
+
+func (h *Harness) hbmOpsVGM(model string, bs int) ([]hbm.OpCost, error) {
+	rep, err := h.runVGM(h.Spec, vgm.Roller, model, bs)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Infeasible {
+		return nil, fmt.Errorf("exper: %s BS%d infeasible under Roller", model, bs)
+	}
+	return expandOps(rep, model, bs)
+}
+
+// expandOps unrolls Repeat'ed operators into the streamed instance
+// sequence with their weight bytes.
+func expandOps(rep *perf.Report, model string, bs int) ([]hbm.OpCost, error) {
+	g, err := models.Build(model, bs)
+	if err != nil {
+		return nil, err
+	}
+	if len(g.Ops) != len(rep.Ops) {
+		return nil, fmt.Errorf("exper: op count mismatch: %d vs %d", len(g.Ops), len(rep.Ops))
+	}
+	var out []hbm.OpCost
+	for i := range g.Ops {
+		repeat := g.Ops[i].Repeat
+		if repeat <= 0 {
+			repeat = 1
+		}
+		per := rep.Ops[i].TotalNs / float64(repeat)
+		for r := 0; r < repeat; r++ {
+			out = append(out, hbm.OpCost{
+				Name:        g.Ops[i].Name,
+				ExecNs:      per,
+				WeightBytes: g.Ops[i].WeightBytes(),
+			})
+		}
+	}
+	return out, nil
+}

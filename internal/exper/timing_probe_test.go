@@ -1,0 +1,29 @@
+package exper
+
+import (
+	"testing"
+)
+
+// TestTimingProbe logs compile+simulate wall times for the heaviest
+// configurations so sweeps can be budgeted; skipped in -short runs.
+func TestTimingProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	h := harness(t)
+	for _, cfg := range []struct {
+		m string
+		b int
+	}{{"ResNet", 1}, {"ResNet", 256}, {"ViT", 128}, {"BERT", 16}, {"NeRF", 1}} {
+		rep, err := h.runT10(h.Spec, cfg.m, cfg.b)
+		if err != nil {
+			t.Fatalf("%s-%d: %v", cfg.m, cfg.b, err)
+		}
+		if rep.Infeasible {
+			t.Logf("%s-%d: infeasible (%s)", cfg.m, cfg.b, rep.Reason)
+			continue
+		}
+		t.Logf("%s-%d: compile %s latency %.3fms transfer %.0f%%",
+			cfg.m, cfg.b, rep.CompileTime.Round(1e6), rep.LatencyMs(), 100*rep.TransferFraction())
+	}
+}

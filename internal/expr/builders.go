@@ -1,0 +1,180 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/dtype"
+)
+
+// MatMul builds C[m,n] += A[m,k] * B[k,n].
+func MatMul(name string, m, k, n int, elem dtype.Type) *Expr {
+	return &Expr{
+		Name: name,
+		Kind: KindMatMul,
+		Axes: []Axis{
+			{Name: "m", Size: m, Kind: Spatial},
+			{Name: "k", Size: k, Kind: Reduce},
+			{Name: "n", Size: n, Kind: Spatial},
+		},
+		Inputs: []TensorRef{
+			{Name: "A", Dims: []Dim{D(0), D(1)}, Elem: elem},
+			{Name: "B", Dims: []Dim{D(1), D(2)}, Elem: elem},
+		},
+		Output:        TensorRef{Name: "C", Dims: []Dim{D(0), D(2)}, Elem: elem},
+		FLOPsPerPoint: 2,
+	}
+}
+
+// BatchMatMul builds C[b,m,n] += A[b,m,k] * B[b,k,n].
+func BatchMatMul(name string, b, m, k, n int, elem dtype.Type) *Expr {
+	return &Expr{
+		Name: name,
+		Kind: KindMatMul,
+		Axes: []Axis{
+			{Name: "b", Size: b, Kind: Spatial},
+			{Name: "m", Size: m, Kind: Spatial},
+			{Name: "k", Size: k, Kind: Reduce},
+			{Name: "n", Size: n, Kind: Spatial},
+		},
+		Inputs: []TensorRef{
+			{Name: "A", Dims: []Dim{D(0), D(1), D(2)}, Elem: elem},
+			{Name: "B", Dims: []Dim{D(0), D(2), D(3)}, Elem: elem},
+		},
+		Output:        TensorRef{Name: "C", Dims: []Dim{D(0), D(1), D(3)}, Elem: elem},
+		FLOPsPerPoint: 2,
+	}
+}
+
+// Conv2D builds O[b,f,h,w] += I[b,c,s*h+kh,s*w+kw] * K[f,c,kh,kw]
+// (Equation 2 of the paper, extended with stride s). h and w are *output*
+// sizes.
+func Conv2D(name string, b, f, c, h, w, kh, kw, stride int, elem dtype.Type) *Expr {
+	if stride < 1 {
+		panic(fmt.Sprintf("expr: Conv2D stride %d", stride))
+	}
+	return &Expr{
+		Name: name,
+		Kind: KindConv,
+		Axes: []Axis{
+			{Name: "b", Size: b, Kind: Spatial},  // 0
+			{Name: "f", Size: f, Kind: Spatial},  // 1
+			{Name: "c", Size: c, Kind: Reduce},   // 2
+			{Name: "h", Size: h, Kind: Spatial},  // 3
+			{Name: "w", Size: w, Kind: Spatial},  // 4
+			{Name: "kh", Size: kh, Kind: Reduce}, // 5
+			{Name: "kw", Size: kw, Kind: Reduce}, // 6
+		},
+		Inputs: []TensorRef{
+			{Name: "I", Dims: []Dim{
+				D(0), D(2),
+				DC(DimTerm{Axis: 3, Stride: stride}, DimTerm{Axis: 5, Stride: 1}),
+				DC(DimTerm{Axis: 4, Stride: stride}, DimTerm{Axis: 6, Stride: 1}),
+			}, Elem: elem},
+			{Name: "K", Dims: []Dim{D(1), D(2), D(5), D(6)}, Elem: elem},
+		},
+		Output:        TensorRef{Name: "O", Dims: []Dim{D(0), D(1), D(3), D(4)}, Elem: elem},
+		FLOPsPerPoint: 2,
+	}
+}
+
+// Pool2D builds O[b,c,h,w] = reduce over I[b,c,s*h+kh,s*w+kw] — a
+// windowed reduction with no weight tensor (max or average pooling; the
+// distinction does not matter for scheduling).
+func Pool2D(name string, b, c, h, w, kh, kw, stride int, elem dtype.Type) *Expr {
+	return &Expr{
+		Name: name,
+		Kind: KindPool,
+		Axes: []Axis{
+			{Name: "b", Size: b, Kind: Spatial},
+			{Name: "c", Size: c, Kind: Spatial},
+			{Name: "h", Size: h, Kind: Spatial},
+			{Name: "w", Size: w, Kind: Spatial},
+			{Name: "kh", Size: kh, Kind: Reduce},
+			{Name: "kw", Size: kw, Kind: Reduce},
+		},
+		Inputs: []TensorRef{
+			{Name: "I", Dims: []Dim{
+				D(0), D(1),
+				DC(DimTerm{Axis: 2, Stride: stride}, DimTerm{Axis: 4, Stride: 1}),
+				DC(DimTerm{Axis: 3, Stride: stride}, DimTerm{Axis: 5, Stride: 1}),
+			}, Elem: elem},
+		},
+		Output:        TensorRef{Name: "O", Dims: []Dim{D(0), D(1), D(2), D(3)}, Elem: elem},
+		FLOPsPerPoint: 1,
+	}
+}
+
+// ReduceSum builds O[m] += I[m,k] — a row-sum reduction.
+func ReduceSum(name string, m, k int, elem dtype.Type) *Expr {
+	return &Expr{
+		Name: name,
+		Kind: KindReduce,
+		Axes: []Axis{
+			{Name: "m", Size: m, Kind: Spatial},
+			{Name: "k", Size: k, Kind: Reduce},
+		},
+		Inputs: []TensorRef{
+			{Name: "I", Dims: []Dim{D(0), D(1)}, Elem: elem},
+		},
+		Output:        TensorRef{Name: "O", Dims: []Dim{D(0)}, Elem: elem},
+		FLOPsPerPoint: 1,
+	}
+}
+
+// Elementwise builds O[m,n] = f(I[m,n]) — a pointwise map over a 2-D
+// view of the data (activations, normalization epilogues, softmax scaling;
+// flopsPerElem captures the arithmetic intensity of f).
+func Elementwise(name string, m, n, flopsPerElem int, elem dtype.Type) *Expr {
+	return &Expr{
+		Name: name,
+		Kind: KindElementwise,
+		Axes: []Axis{
+			{Name: "m", Size: m, Kind: Spatial},
+			{Name: "n", Size: n, Kind: Spatial},
+		},
+		Inputs: []TensorRef{
+			{Name: "I", Dims: []Dim{D(0), D(1)}, Elem: elem},
+		},
+		Output:        TensorRef{Name: "O", Dims: []Dim{D(0), D(1)}, Elem: elem},
+		FLOPsPerPoint: flopsPerElem,
+	}
+}
+
+// EltwiseBinary builds O[m,n] = f(X[m,n], Y[m,n]) — residual adds and
+// similar two-input pointwise ops.
+func EltwiseBinary(name string, m, n int, elem dtype.Type) *Expr {
+	return &Expr{
+		Name: name,
+		Kind: KindElementwise,
+		Axes: []Axis{
+			{Name: "m", Size: m, Kind: Spatial},
+			{Name: "n", Size: n, Kind: Spatial},
+		},
+		Inputs: []TensorRef{
+			{Name: "X", Dims: []Dim{D(0), D(1)}, Elem: elem},
+			{Name: "Y", Dims: []Dim{D(0), D(1)}, Elem: elem},
+		},
+		Output:        TensorRef{Name: "O", Dims: []Dim{D(0), D(1)}, Elem: elem},
+		FLOPsPerPoint: 1,
+	}
+}
+
+// GatherOp builds O[b,e] = W[idx[b], e] — an embedding lookup (GatherV2).
+// vocab is a gather axis: it shards the table but is not iterated.
+func GatherOp(name string, batch, vocab, embed int, elem dtype.Type) *Expr {
+	return &Expr{
+		Name: name,
+		Kind: KindGather,
+		Axes: []Axis{
+			{Name: "b", Size: batch, Kind: Spatial},
+			{Name: "v", Size: vocab, Kind: Gather},
+			{Name: "e", Size: embed, Kind: Spatial},
+		},
+		Inputs: []TensorRef{
+			{Name: "W", Dims: []Dim{D(1), D(2)}, Elem: elem},
+			{Name: "Idx", Dims: []Dim{D(0)}, Elem: dtype.INT32},
+		},
+		Output:        TensorRef{Name: "O", Dims: []Dim{D(0), D(2)}, Elem: elem},
+		FLOPsPerPoint: 0,
+	}
+}

@@ -1,0 +1,65 @@
+package expr
+
+import "fmt"
+
+// FlatIndex returns the row-major flat index into tensor t (with the
+// given full shape) for the iteration point axisIdx (one index per
+// expression axis). Compound dims combine their strided terms.
+func (e *Expr) FlatIndex(t TensorRef, shape []int, axisIdx []int) int {
+	idx := 0
+	for d, dim := range t.Dims {
+		coord := 0
+		for _, tm := range dim.Terms {
+			coord += tm.Stride * axisIdx[tm.Axis]
+		}
+		idx = idx*shape[d] + coord
+	}
+	return idx
+}
+
+// EvalRef evaluates the expression with float32 multiply-accumulate
+// reference arithmetic: for every iteration point, the product of the
+// input elements is accumulated into the output element. This matches
+// MatMul, Conv, Pool(avg, unscaled), and Reduce semantics and is the
+// oracle for functional plan verification. Gather expressions are not
+// supported (their axis is not iterated).
+func (e *Expr) EvalRef(inputs map[string][]float32) ([]float32, error) {
+	for _, a := range e.Axes {
+		if a.Kind == Gather {
+			return nil, fmt.Errorf("expr %s: EvalRef does not support gather axes", e.Name)
+		}
+	}
+	inShapes := make([][]int, len(e.Inputs))
+	for i, in := range e.Inputs {
+		inShapes[i] = e.TensorShape(in)
+		buf, ok := inputs[in.Name]
+		if !ok {
+			return nil, fmt.Errorf("expr %s: missing input %s", e.Name, in.Name)
+		}
+		if int64(len(buf)) != e.TensorElems(in) {
+			return nil, fmt.Errorf("expr %s: input %s has %d elems, want %d",
+				e.Name, in.Name, len(buf), e.TensorElems(in))
+		}
+	}
+	outShape := e.TensorShape(e.Output)
+	out := make([]float32, e.TensorElems(e.Output))
+
+	axisIdx := make([]int, len(e.Axes))
+	var rec func(a int)
+	rec = func(a int) {
+		if a == len(e.Axes) {
+			prod := float32(1)
+			for i, in := range e.Inputs {
+				prod *= inputs[in.Name][e.FlatIndex(in, inShapes[i], axisIdx)]
+			}
+			out[e.FlatIndex(e.Output, outShape, axisIdx)] += prod
+			return
+		}
+		for v := 0; v < e.Axes[a].Size; v++ {
+			axisIdx[a] = v
+			rec(a + 1)
+		}
+	}
+	rec(0)
+	return out, nil
+}

@@ -1,0 +1,309 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dtype"
+)
+
+func TestMatMulShapes(t *testing.T) {
+	e := MatMul("mm", 4, 8, 16, dtype.FP16)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := e.TensorShape(e.Inputs[0])
+	b := e.TensorShape(e.Inputs[1])
+	c := e.TensorShape(e.Output)
+	if a[0] != 4 || a[1] != 8 {
+		t.Errorf("A shape = %v, want [4 8]", a)
+	}
+	if b[0] != 8 || b[1] != 16 {
+		t.Errorf("B shape = %v, want [8 16]", b)
+	}
+	if c[0] != 4 || c[1] != 16 {
+		t.Errorf("C shape = %v, want [4 16]", c)
+	}
+	if got := e.FLOPs(); got != 2*4*8*16 {
+		t.Errorf("FLOPs = %d, want %d", got, 2*4*8*16)
+	}
+	if got := e.TensorBytes(e.Inputs[0]); got != 4*8*2 {
+		t.Errorf("A bytes = %d, want %d", got, 4*8*2)
+	}
+}
+
+func TestMatMulString(t *testing.T) {
+	e := MatMul("mm", 4, 8, 16, dtype.FP16)
+	want := "C[m,n] += A[m,k] * B[k,n]"
+	if got := e.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestConvShapes(t *testing.T) {
+	// ResNet-ish: b=2 f=64 c=3 h=w=56 kh=kw=3 stride=1
+	e := Conv2D("conv", 2, 64, 3, 56, 56, 3, 3, 1, dtype.FP16)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in := e.TensorShape(e.Inputs[0])
+	// input spatial dims: stride*(h-1) + (kh-1) + 1 = 56+2 = 58 (valid conv)
+	if in[0] != 2 || in[1] != 3 || in[2] != 58 || in[3] != 58 {
+		t.Errorf("I shape = %v, want [2 3 58 58]", in)
+	}
+	k := e.TensorShape(e.Inputs[1])
+	if k[0] != 64 || k[1] != 3 || k[2] != 3 || k[3] != 3 {
+		t.Errorf("K shape = %v, want [64 3 3 3]", k)
+	}
+	out := e.TensorShape(e.Output)
+	if out[0] != 2 || out[1] != 64 || out[2] != 56 || out[3] != 56 {
+		t.Errorf("O shape = %v, want [2 64 56 56]", out)
+	}
+}
+
+func TestConvStride2Shapes(t *testing.T) {
+	e := Conv2D("conv", 1, 8, 4, 28, 28, 3, 3, 2, dtype.FP16)
+	in := e.TensorShape(e.Inputs[0])
+	// 2*(28-1) + (3-1) + 1 = 57
+	if in[2] != 57 || in[3] != 57 {
+		t.Errorf("strided input spatial = %v, want 57", in[2:])
+	}
+}
+
+func TestPoolShapes(t *testing.T) {
+	e := Pool2D("pool", 1, 16, 14, 14, 2, 2, 2, dtype.FP16)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in := e.TensorShape(e.Inputs[0])
+	// 2*(14-1) + (2-1) + 1 = 28
+	if in[2] != 28 || in[3] != 28 {
+		t.Errorf("pool input spatial = %v, want 28", in[2:])
+	}
+}
+
+func TestGatherValidates(t *testing.T) {
+	e := GatherOp("emb", 128, 30522, 1024, dtype.FP16)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := e.TensorShape(e.Inputs[0])
+	if w[0] != 30522 || w[1] != 1024 {
+		t.Errorf("W shape = %v", w)
+	}
+	if e.FLOPs() != 0 {
+		t.Errorf("gather FLOPs = %d, want 0", e.FLOPs())
+	}
+	// gather axis must not inflate the iteration space
+	if e.IterPoints() != 128*1024 {
+		t.Errorf("IterPoints = %d, want %d", e.IterPoints(), 128*1024)
+	}
+}
+
+func TestValidateCatchesBadExprs(t *testing.T) {
+	bad := []*Expr{
+		// axis "u" declared but never used by any tensor
+		{
+			Name: "x",
+			Axes: []Axis{
+				{Name: "m", Size: 4, Kind: Spatial},
+				{Name: "u", Size: 4, Kind: Reduce},
+			},
+			Inputs: []TensorRef{{Name: "I", Dims: []Dim{D(0)}}},
+			Output: TensorRef{Name: "O", Dims: []Dim{D(0)}},
+		},
+	}
+	// mutate the one valid-looking case into specific failures
+	e := MatMul("mm", 4, 8, 16, dtype.FP16)
+	e.Axes[0].Size = 0
+	bad = append(bad, e)
+
+	e2 := MatMul("mm", 4, 8, 16, dtype.FP16)
+	e2.Axes[1].Name = "m" // duplicate name
+	bad = append(bad, e2)
+
+	e3 := MatMul("mm", 4, 8, 16, dtype.FP16)
+	e3.Output.Dims = []Dim{D(0)} // drop spatial axis n from output
+	bad = append(bad, e3)
+
+	e4 := MatMul("mm", 4, 8, 16, dtype.FP16)
+	e4.Output.Dims = []Dim{D(0), D(1)} // reduce axis k in output
+	bad = append(bad, e4)
+
+	e5 := MatMul("mm", 4, 8, 16, dtype.FP16)
+	e5.Inputs[0].Dims[0].Terms[0].Axis = 99 // out of range
+	bad = append(bad, e5)
+
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: Validate() accepted an invalid expr", i)
+		}
+	}
+	// the unmodified op must validate — first bad case is genuinely invalid
+	if err := MatMul("mm", 4, 8, 16, dtype.FP16).Validate(); err != nil {
+		t.Errorf("valid matmul rejected: %v", err)
+	}
+}
+
+func TestSignatureDistinguishesShapes(t *testing.T) {
+	a := MatMul("x", 4, 8, 16, dtype.FP16)
+	b := MatMul("y", 4, 8, 16, dtype.FP16)
+	c := MatMul("z", 4, 8, 32, dtype.FP16)
+	d := MatMul("w", 4, 8, 16, dtype.FP32)
+	if a.Signature() != b.Signature() {
+		t.Error("same-shape ops should share a signature regardless of name")
+	}
+	if a.Signature() == c.Signature() {
+		t.Error("different n should change the signature")
+	}
+	if a.Signature() == d.Signature() {
+		t.Error("different dtype should change the signature")
+	}
+}
+
+func TestEvalRefMatMul(t *testing.T) {
+	const m, k, n = 3, 4, 5
+	e := MatMul("mm", m, k, n, dtype.FP32)
+	rng := rand.New(rand.NewSource(1))
+	A := make([]float32, m*k)
+	B := make([]float32, k*n)
+	for i := range A {
+		A[i] = rng.Float32()
+	}
+	for i := range B {
+		B[i] = rng.Float32()
+	}
+	got, err := e.EvalRef(map[string][]float32{"A": A, "B": B})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var want float32
+			for kk := 0; kk < k; kk++ {
+				want += A[i*k+kk] * B[kk*n+j]
+			}
+			if diff := math.Abs(float64(got[i*n+j] - want)); diff > 1e-4 {
+				t.Fatalf("C[%d,%d] = %f, want %f", i, j, got[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestEvalRefConvMatchesDirect(t *testing.T) {
+	const b, f, c, h, w, kh, kw = 1, 2, 3, 4, 4, 3, 3
+	e := Conv2D("conv", b, f, c, h, w, kh, kw, 1, dtype.FP32)
+	inH, inW := h+kh-1, w+kw-1
+	rng := rand.New(rand.NewSource(2))
+	I := make([]float32, b*c*inH*inW)
+	K := make([]float32, f*c*kh*kw)
+	for i := range I {
+		I[i] = rng.Float32()
+	}
+	for i := range K {
+		K[i] = rng.Float32()
+	}
+	got, err := e.EvalRef(map[string][]float32{"I": I, "K": K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// direct convolution
+	at := func(buf []float32, strides []int, idx ...int) float32 {
+		p := 0
+		for i, v := range idx {
+			p = p*strides[i] + v
+		}
+		return buf[p]
+	}
+	for bi := 0; bi < b; bi++ {
+		for fi := 0; fi < f; fi++ {
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					var want float32
+					for ci := 0; ci < c; ci++ {
+						for khi := 0; khi < kh; khi++ {
+							for kwi := 0; kwi < kw; kwi++ {
+								want += at(I, []int{b, c, inH, inW}, bi, ci, hi+khi, wi+kwi) *
+									at(K, []int{f, c, kh, kw}, fi, ci, khi, kwi)
+							}
+						}
+					}
+					gotv := at(got, []int{b, f, h, w}, bi, fi, hi, wi)
+					if math.Abs(float64(gotv-want)) > 1e-3 {
+						t.Fatalf("O[%d,%d,%d,%d] = %f, want %f", bi, fi, hi, wi, gotv, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEvalRefReduce(t *testing.T) {
+	e := ReduceSum("rs", 2, 3, dtype.FP32)
+	I := []float32{1, 2, 3, 4, 5, 6}
+	got, err := e.EvalRef(map[string][]float32{"I": I})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("ReduceSum = %v, want [6 15]", got)
+	}
+}
+
+func TestEvalRefRejectsGather(t *testing.T) {
+	e := GatherOp("g", 4, 16, 8, dtype.FP16)
+	if _, err := e.EvalRef(nil); err == nil {
+		t.Error("EvalRef should reject gather exprs")
+	}
+}
+
+func TestEvalRefMissingInput(t *testing.T) {
+	e := MatMul("mm", 2, 2, 2, dtype.FP32)
+	if _, err := e.EvalRef(map[string][]float32{"A": make([]float32, 4)}); err == nil {
+		t.Error("EvalRef should report missing input B")
+	}
+}
+
+func TestFlatIndexCompound(t *testing.T) {
+	e := Conv2D("conv", 1, 1, 1, 4, 4, 3, 3, 1, dtype.FP32)
+	in := e.Inputs[0]
+	shape := e.TensorShape(in)
+	// axis order: b f c h w kh kw
+	idx := e.FlatIndex(in, shape, []int{0, 0, 0, 2, 1, 1, 2})
+	// I[b=0, c=0, h+kh=3, w+kw=3] in a [1,1,6,6] tensor → 3*6+3 = 21
+	if idx != 21 {
+		t.Errorf("FlatIndex = %d, want 21", idx)
+	}
+}
+
+func TestBatchMatMul(t *testing.T) {
+	e := BatchMatMul("bmm", 2, 3, 4, 5, dtype.FP16)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.FLOPs() != 2*2*3*4*5 {
+		t.Errorf("FLOPs = %d", e.FLOPs())
+	}
+	out := e.TensorShape(e.Output)
+	if out[0] != 2 || out[1] != 3 || out[2] != 5 {
+		t.Errorf("out shape = %v", out)
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	e := Elementwise("gelu", 128, 1024, 8, dtype.FP16)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.FLOPs() != 8*128*1024 {
+		t.Errorf("FLOPs = %d", e.FLOPs())
+	}
+	e2 := EltwiseBinary("add", 128, 1024, dtype.FP16)
+	if err := e2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e2.Inputs) != 2 {
+		t.Error("binary op should have two inputs")
+	}
+}

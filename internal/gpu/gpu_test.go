@@ -1,0 +1,87 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/models"
+)
+
+func TestEstimateBERTPlausible(t *testing.T) {
+	rep := Estimate(models.BERT(1), device.A100())
+	// TensorRT BERT-Large BS1 runs in low single-digit milliseconds.
+	if ms := rep.LatencyMs(); ms < 0.5 || ms > 10 {
+		t.Errorf("A100 BERT-BS1 = %.3f ms, outside the plausible band", ms)
+	}
+}
+
+func TestLatencyMonotonicInBatch(t *testing.T) {
+	spec := device.A100()
+	var prev float64
+	for _, bs := range []int{1, 4, 16, 64} {
+		rep := Estimate(models.BERT(bs), spec)
+		if rep.TotalNs < prev {
+			t.Errorf("BS%d latency %.3f ms below smaller batch", bs, rep.LatencyMs())
+		}
+		prev = rep.TotalNs
+	}
+}
+
+func TestDecodeIsMemoryBound(t *testing.T) {
+	// A small-batch LLM decode layer must be bounded by weight streaming:
+	// latency ≈ weight bytes / HBM bandwidth, far above the FLOP time.
+	spec := device.A100()
+	cfg := models.LLMConfigs()[3] // OPT-13B, one layer
+	m := models.LLMDecode(cfg, 2)
+	rep := Estimate(m, spec)
+	floorNs := float64(m.ParamBytes()) / spec.HBMGBps
+	if rep.TotalNs < floorNs {
+		t.Errorf("decode %.1f µs under the HBM floor %.1f µs", rep.TotalNs/1e3, floorNs/1e3)
+	}
+	// compute alone is a small share at batch 2
+	if rep.ComputeNs > 0.5*rep.TotalNs {
+		t.Errorf("batch-2 decode should not be compute-bound: %.1f of %.1f µs",
+			rep.ComputeNs/1e3, rep.TotalNs/1e3)
+	}
+}
+
+func TestLargeBatchBecomesComputeBound(t *testing.T) {
+	spec := device.A100()
+	cfg := models.LLMConfigs()[0] // OPT-1.3B
+	small := Estimate(models.LLMDecode(cfg, 2), spec)
+	big := Estimate(models.LLMDecode(cfg, 512), spec)
+	fracSmall := small.ComputeNs / small.TotalNs
+	fracBig := big.ComputeNs / big.TotalNs
+	if fracBig <= fracSmall {
+		t.Errorf("compute share should grow with batch: %.2f -> %.2f", fracSmall, fracBig)
+	}
+}
+
+func TestHigherBandwidthHelpsMemoryBound(t *testing.T) {
+	cfg := models.LLMConfigs()[3]
+	m := models.LLMDecode(cfg, 2)
+	slow := device.A100()
+	fast := device.A100()
+	fast.HBMGBps *= 2
+	if Estimate(m, fast).TotalNs >= Estimate(m, slow).TotalNs {
+		t.Error("doubling HBM bandwidth must speed up a memory-bound decode")
+	}
+}
+
+func TestPerOpReportsPresent(t *testing.T) {
+	m := models.ResNet(8)
+	rep := Estimate(m, device.A100())
+	if len(rep.Ops) != len(m.Ops) {
+		t.Errorf("per-op reports %d for %d ops", len(rep.Ops), len(m.Ops))
+	}
+	var sum float64
+	for _, o := range rep.Ops {
+		if o.TotalNs <= 0 {
+			t.Errorf("op %s has non-positive time", o.Name)
+		}
+		sum += o.TotalNs
+	}
+	if sum != rep.TotalNs {
+		t.Errorf("op times %f do not add up to total %f", sum, rep.TotalNs)
+	}
+}

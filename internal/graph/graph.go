@@ -1,0 +1,134 @@
+// Package graph represents DNN models as operator graphs: the input
+// representation of the compiler (the paper parses ONNX into the same
+// structure; our models are built programmatically by internal/models).
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// External marks an operator input with no producer inside the graph
+// (model inputs and weights).
+const External = -1
+
+// Op is one operator node.
+type Op struct {
+	Name string
+	Expr *expr.Expr
+
+	// WeightInputs lists the indices of Expr.Inputs that are constant
+	// parameters (kept on-chip between executions; they define the idle-
+	// state footprint of §4.3.2).
+	WeightInputs []int
+
+	// Sources[i] is the index of the op producing Expr.Inputs[i], or
+	// External.
+	Sources []int
+
+	// Repeat counts how many times this exact operator runs in the model
+	// (identical layers are stored once and multiplied through; the
+	// compiler caches their plans anyway, §6.3).
+	Repeat int
+}
+
+// IsWeight reports whether input i of the op is a constant parameter.
+func (o *Op) IsWeight(i int) bool {
+	for _, w := range o.WeightInputs {
+		if w == i {
+			return true
+		}
+	}
+	return false
+}
+
+// WeightBytes returns the total parameter bytes of the op (one copy of
+// each weight, not scaled by Repeat).
+func (o *Op) WeightBytes() int64 {
+	var n int64
+	for _, w := range o.WeightInputs {
+		n += o.Expr.TensorBytes(o.Expr.Inputs[w])
+	}
+	return n
+}
+
+// WeightElems returns the number of parameters of the op.
+func (o *Op) WeightElems() int64 {
+	var n int64
+	for _, w := range o.WeightInputs {
+		n += o.Expr.TensorElems(o.Expr.Inputs[w])
+	}
+	return n
+}
+
+// Model is an operator graph in topological order.
+type Model struct {
+	Name      string
+	BatchSize int
+	Ops       []Op
+}
+
+// ParamCount returns the total number of parameters.
+func (m *Model) ParamCount() int64 {
+	var n int64
+	for i := range m.Ops {
+		n += m.Ops[i].WeightElems() * int64(repeat(&m.Ops[i]))
+	}
+	return n
+}
+
+// ParamBytes returns the total parameter storage.
+func (m *Model) ParamBytes() int64 {
+	var n int64
+	for i := range m.Ops {
+		n += m.Ops[i].WeightBytes() * int64(repeat(&m.Ops[i]))
+	}
+	return n
+}
+
+// FLOPs returns the total floating-point work of one inference.
+func (m *Model) FLOPs() int64 {
+	var n int64
+	for i := range m.Ops {
+		n += m.Ops[i].Expr.FLOPs() * int64(repeat(&m.Ops[i]))
+	}
+	return n
+}
+
+func repeat(o *Op) int {
+	if o.Repeat <= 0 {
+		return 1
+	}
+	return o.Repeat
+}
+
+// Validate checks structural invariants: exprs validate, sources precede
+// consumers, weight indices are in range.
+func (m *Model) Validate() error {
+	for i := range m.Ops {
+		o := &m.Ops[i]
+		if err := o.Expr.Validate(); err != nil {
+			return fmt.Errorf("model %s op %d: %w", m.Name, i, err)
+		}
+		if len(o.Sources) != len(o.Expr.Inputs) {
+			return fmt.Errorf("model %s op %s: %d sources for %d inputs",
+				m.Name, o.Name, len(o.Sources), len(o.Expr.Inputs))
+		}
+		for j, src := range o.Sources {
+			if src != External && (src < 0 || src >= i) {
+				return fmt.Errorf("model %s op %s: input %d from op %d breaks topological order",
+					m.Name, o.Name, j, src)
+			}
+			if o.IsWeight(j) && src != External {
+				return fmt.Errorf("model %s op %s: weight input %d has a producer", m.Name, o.Name, j)
+			}
+		}
+		for _, w := range o.WeightInputs {
+			if w < 0 || w >= len(o.Expr.Inputs) {
+				return fmt.Errorf("model %s op %s: weight index %d out of range", m.Name, o.Name, w)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dtype"
+	"repro/internal/expr"
+)
+
+// The JSON schema is a stable, versioned flattening of the operator
+// graph — the role ONNX plays for the paper's compiler. Axis kinds and
+// element types serialize as strings so files stay readable.
+
+type jsonModel struct {
+	Version   int      `json:"version"`
+	Name      string   `json:"name"`
+	BatchSize int      `json:"batch_size"`
+	Ops       []jsonOp `json:"ops"`
+}
+
+type jsonOp struct {
+	Name         string   `json:"name"`
+	Kind         string   `json:"kind"`
+	Axes         []jsonAx `json:"axes"`
+	Inputs       []jsonTR `json:"inputs"`
+	Output       jsonTR   `json:"output"`
+	FLOPsPerPt   int      `json:"flops_per_point"`
+	WeightInputs []int    `json:"weight_inputs,omitempty"`
+	Sources      []int    `json:"sources"`
+	Repeat       int      `json:"repeat,omitempty"`
+}
+
+type jsonAx struct {
+	Name string `json:"name"`
+	Size int    `json:"size"`
+	Kind string `json:"kind"`
+}
+
+type jsonTR struct {
+	Name string      `json:"name"`
+	Elem string      `json:"elem"`
+	Dims [][]jsonDim `json:"dims"`
+}
+
+type jsonDim struct {
+	Axis   int `json:"axis"`
+	Stride int `json:"stride"`
+}
+
+const jsonVersion = 1
+
+var axisKindNames = map[expr.AxisKind]string{
+	expr.Spatial: "spatial", expr.Reduce: "reduce", expr.Gather: "gather",
+}
+
+var opKindNames = map[expr.OpKind]string{
+	expr.KindMatMul: "matmul", expr.KindConv: "conv", expr.KindPool: "pool",
+	expr.KindReduce: "reduce", expr.KindElementwise: "elementwise", expr.KindGather: "gather",
+}
+
+var elemNames = map[dtype.Type]string{
+	dtype.FP16: "fp16", dtype.FP32: "fp32", dtype.INT32: "int32", dtype.INT8: "int8",
+}
+
+func invert[K comparable, V comparable](m map[K]V) map[V]K {
+	out := make(map[V]K, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+var (
+	axisKindValues = invert(axisKindNames)
+	opKindValues   = invert(opKindNames)
+	elemValues     = invert(elemNames)
+)
+
+func toJSONTR(t expr.TensorRef) jsonTR {
+	jt := jsonTR{Name: t.Name, Elem: elemNames[t.Elem]}
+	for _, d := range t.Dims {
+		var terms []jsonDim
+		for _, tm := range d.Terms {
+			terms = append(terms, jsonDim{Axis: tm.Axis, Stride: tm.Stride})
+		}
+		jt.Dims = append(jt.Dims, terms)
+	}
+	return jt
+}
+
+func fromJSONTR(jt jsonTR) (expr.TensorRef, error) {
+	elem, ok := elemValues[jt.Elem]
+	if !ok {
+		return expr.TensorRef{}, fmt.Errorf("graph: unknown element type %q", jt.Elem)
+	}
+	t := expr.TensorRef{Name: jt.Name, Elem: elem}
+	for _, terms := range jt.Dims {
+		var d expr.Dim
+		for _, tm := range terms {
+			d.Terms = append(d.Terms, expr.DimTerm{Axis: tm.Axis, Stride: tm.Stride})
+		}
+		t.Dims = append(t.Dims, d)
+	}
+	return t, nil
+}
+
+// WriteJSON serializes the model.
+func (m *Model) WriteJSON(w io.Writer) error {
+	jm := jsonModel{Version: jsonVersion, Name: m.Name, BatchSize: m.BatchSize}
+	for i := range m.Ops {
+		o := &m.Ops[i]
+		jo := jsonOp{
+			Name:         o.Name,
+			Kind:         opKindNames[o.Expr.Kind],
+			Output:       toJSONTR(o.Expr.Output),
+			FLOPsPerPt:   o.Expr.FLOPsPerPoint,
+			WeightInputs: o.WeightInputs,
+			Sources:      o.Sources,
+			Repeat:       o.Repeat,
+		}
+		for _, a := range o.Expr.Axes {
+			jo.Axes = append(jo.Axes, jsonAx{Name: a.Name, Size: a.Size, Kind: axisKindNames[a.Kind]})
+		}
+		for _, in := range o.Expr.Inputs {
+			jo.Inputs = append(jo.Inputs, toJSONTR(in))
+		}
+		jm.Ops = append(jm.Ops, jo)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jm)
+}
+
+// ReadJSON deserializes and validates a model.
+func ReadJSON(r io.Reader) (*Model, error) {
+	var jm jsonModel
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, fmt.Errorf("graph: decoding model: %w", err)
+	}
+	if jm.Version != jsonVersion {
+		return nil, fmt.Errorf("graph: unsupported model version %d", jm.Version)
+	}
+	m := &Model{Name: jm.Name, BatchSize: jm.BatchSize}
+	for _, jo := range jm.Ops {
+		kind, ok := opKindValues[jo.Kind]
+		if !ok {
+			return nil, fmt.Errorf("graph: op %s has unknown kind %q", jo.Name, jo.Kind)
+		}
+		e := &expr.Expr{Name: jo.Name, Kind: kind, FLOPsPerPoint: jo.FLOPsPerPt}
+		for _, ja := range jo.Axes {
+			ak, ok := axisKindValues[ja.Kind]
+			if !ok {
+				return nil, fmt.Errorf("graph: op %s has unknown axis kind %q", jo.Name, ja.Kind)
+			}
+			e.Axes = append(e.Axes, expr.Axis{Name: ja.Name, Size: ja.Size, Kind: ak})
+		}
+		for _, jt := range jo.Inputs {
+			in, err := fromJSONTR(jt)
+			if err != nil {
+				return nil, err
+			}
+			e.Inputs = append(e.Inputs, in)
+		}
+		out, err := fromJSONTR(jo.Output)
+		if err != nil {
+			return nil, err
+		}
+		e.Output = out
+		m.Ops = append(m.Ops, Op{
+			Name: jo.Name, Expr: e,
+			WeightInputs: jo.WeightInputs, Sources: jo.Sources, Repeat: jo.Repeat,
+		})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

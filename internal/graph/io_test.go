@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := chain(3)
+	m.Name = "rt"
+	m.BatchSize = 7
+	m.Ops[1].Repeat = 12
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "rt" || got.BatchSize != 7 || len(got.Ops) != 3 {
+		t.Fatalf("round trip lost metadata: %+v", got)
+	}
+	if got.Ops[1].Repeat != 12 {
+		t.Errorf("repeat = %d", got.Ops[1].Repeat)
+	}
+	if got.ParamCount() != m.ParamCount() {
+		t.Errorf("params changed: %d vs %d", got.ParamCount(), m.ParamCount())
+	}
+	if got.FLOPs() != m.FLOPs() {
+		t.Errorf("flops changed: %d vs %d", got.FLOPs(), m.FLOPs())
+	}
+	// signatures must survive: identical plans can be reused
+	for i := range m.Ops {
+		if got.Ops[i].Expr.Signature() != m.Ops[i].Expr.Signature() {
+			t.Errorf("op %d signature changed", i)
+		}
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version": 99, "ops": []}`)); err == nil {
+		t.Error("unknown version should fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(
+		`{"version":1,"ops":[{"name":"x","kind":"warp","sources":[]}]}`)); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestJSONValidatesOnRead(t *testing.T) {
+	m := chain(2)
+	m.Ops[1].Sources[0] = 5 // forward reference
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(&buf); err == nil {
+		t.Error("invalid graph should fail validation on read")
+	}
+}

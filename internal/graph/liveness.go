@@ -1,0 +1,76 @@
+package graph
+
+// Liveness computes the resident activation bytes at each operator: an
+// activation lives from the step after its producer runs until its last
+// consumer has run. T10 uses this to reuse the memory of precedent
+// operators when placing sub-tensors (§4.4); the simulator uses it to
+// charge the on-chip footprint of skip connections and other long-lived
+// intermediates.
+//
+// The result is indexed like Ops: LiveBytes[i] is the total bytes of
+// activations that must stay resident while op i executes, including
+// op i's own inputs but not its output.
+func (m *Model) Liveness() []int64 {
+	lastUse := make([]int, len(m.Ops))
+	for i := range lastUse {
+		lastUse[i] = -1
+	}
+	for i := range m.Ops {
+		for _, src := range m.Ops[i].Sources {
+			if src != External {
+				lastUse[src] = i
+			}
+		}
+	}
+	live := make([]int64, len(m.Ops))
+	for i := range m.Ops {
+		var bytes int64
+		for j := 0; j < i; j++ {
+			if lastUse[j] >= i {
+				bytes += m.Ops[j].Expr.TensorBytes(m.Ops[j].Expr.Output)
+			}
+		}
+		live[i] = bytes
+	}
+	return live
+}
+
+// ExtraLiveBytes returns, per op, the live activation bytes beyond the
+// op's own direct inputs: skip connections and other intermediates that
+// must stay resident while the op runs but are not part of its working
+// set. The compiler charges these against the active-memory budget —
+// the §4.4 liveness analysis that lets successors reuse everything else.
+func (m *Model) ExtraLiveBytes() []int64 {
+	live := m.Liveness()
+	extra := make([]int64, len(m.Ops))
+	for i := range m.Ops {
+		own := int64(0)
+		seen := make(map[int]bool)
+		for _, src := range m.Ops[i].Sources {
+			if src == External || seen[src] {
+				continue
+			}
+			seen[src] = true
+			own += m.Ops[src].Expr.TensorBytes(m.Ops[src].Expr.Output)
+		}
+		extra[i] = live[i] - own
+		if extra[i] < 0 {
+			extra[i] = 0
+		}
+	}
+	return extra
+}
+
+// PeakLiveBytes returns the maximum resident activation bytes across
+// the model (plus each op's own output while it is being produced).
+func (m *Model) PeakLiveBytes() int64 {
+	live := m.Liveness()
+	var peak int64
+	for i := range m.Ops {
+		total := live[i] + m.Ops[i].Expr.TensorBytes(m.Ops[i].Expr.Output)
+		if total > peak {
+			peak = total
+		}
+	}
+	return peak
+}

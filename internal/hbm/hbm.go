@@ -1,0 +1,139 @@
+// Package hbm emulates an inter-core connected chip with attached
+// high-bandwidth off-chip memory (§6.8): operator weights stream from
+// HBM into a double-buffered on-chip region while earlier operators
+// execute.
+//
+// Two prefetch policies match the paper's: Single-Op overlaps one
+// operator's execution with the next operator's weight transfer;
+// Inter-Op prefetches whole groups of operators (packed to the prefetch
+// buffer) while the current group executes, balancing mixed compute
+// intensities.
+package hbm
+
+import "fmt"
+
+// Mode selects the prefetch policy.
+type Mode int
+
+const (
+	SingleOp Mode = iota
+	InterOp
+)
+
+func (m Mode) String() string {
+	if m == SingleOp {
+		return "Single Op"
+	}
+	return "Inter Op"
+}
+
+// OpCost is one operator instance on the timeline.
+type OpCost struct {
+	Name        string
+	ExecNs      float64
+	WeightBytes int64
+}
+
+// Config sizes the emulation. The paper's defaults: a 596 MB execution
+// buffer and a 298 MB prefetch buffer.
+type Config struct {
+	HBMGBps          float64
+	PrefetchBufBytes int64
+	Mode             Mode
+}
+
+// Result is the emulated timeline outcome.
+type Result struct {
+	TotalNs    float64
+	ExecNs     float64 // sum of execution times (lower bound)
+	TransferNs float64 // sum of HBM transfer times (lower bound)
+	Stalls     float64 // time execution waited on HBM
+	Groups     int
+}
+
+// Emulate plays the operator sequence through the double-buffered
+// timeline and returns the end-to-end latency.
+func Emulate(ops []OpCost, cfg Config) (*Result, error) {
+	if cfg.HBMGBps <= 0 {
+		return nil, fmt.Errorf("hbm: non-positive bandwidth")
+	}
+	if cfg.PrefetchBufBytes <= 0 {
+		return nil, fmt.Errorf("hbm: no prefetch buffer")
+	}
+	groups, err := group(ops, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Groups: len(groups)}
+	// fetchDone[g]: when group g's weights are fully on-chip. The HBM
+	// engine is serial; a group's fetch can start once the previous
+	// fetch finished and the buffer it overwrites has been executed
+	// (double buffering: fetch g+1 may overlap exec g, not exec g-1).
+	var hbmFree, execFree float64
+	prevExecEnd := make([]float64, len(groups)+1)
+	for g, grp := range groups {
+		var bytes int64
+		var exec float64
+		for _, o := range grp {
+			bytes += o.WeightBytes
+			exec += o.ExecNs
+		}
+		transfer := float64(bytes) / cfg.HBMGBps
+		fetchStart := hbmFree
+		if g >= 2 && prevExecEnd[g-1] > fetchStart {
+			// the buffer half being refilled was in use until group g-2's
+			// successor finished executing
+			fetchStart = prevExecEnd[g-1]
+		}
+		fetchDone := fetchStart + transfer
+		execStart := execFree
+		if fetchDone > execStart {
+			res.Stalls += fetchDone - execStart
+			execStart = fetchDone
+		}
+		execEnd := execStart + exec
+		hbmFree = fetchDone
+		execFree = execEnd
+		prevExecEnd[g+1] = execEnd
+		res.ExecNs += exec
+		res.TransferNs += transfer
+	}
+	res.TotalNs = execFree
+	return res, nil
+}
+
+// group packs operators for the prefetch policy: Single-Op keeps one
+// operator per group; Inter-Op packs consecutive operators until the
+// prefetch buffer fills.
+func group(ops []OpCost, cfg Config) ([][]OpCost, error) {
+	var groups [][]OpCost
+	switch cfg.Mode {
+	case SingleOp:
+		for _, o := range ops {
+			if o.WeightBytes > cfg.PrefetchBufBytes && o.WeightBytes > 0 {
+				return nil, fmt.Errorf("hbm: op %s weights (%d) exceed the prefetch buffer", o.Name, o.WeightBytes)
+			}
+			groups = append(groups, []OpCost{o})
+		}
+	case InterOp:
+		var cur []OpCost
+		var bytes int64
+		for _, o := range ops {
+			if o.WeightBytes > cfg.PrefetchBufBytes {
+				return nil, fmt.Errorf("hbm: op %s weights (%d) exceed the prefetch buffer", o.Name, o.WeightBytes)
+			}
+			if len(cur) > 0 && bytes+o.WeightBytes > cfg.PrefetchBufBytes {
+				groups = append(groups, cur)
+				cur, bytes = nil, 0
+			}
+			cur = append(cur, o)
+			bytes += o.WeightBytes
+		}
+		if len(cur) > 0 {
+			groups = append(groups, cur)
+		}
+	default:
+		return nil, fmt.Errorf("hbm: unknown mode %d", cfg.Mode)
+	}
+	return groups, nil
+}

@@ -1,0 +1,129 @@
+package hbm
+
+import (
+	"math"
+	"testing"
+)
+
+func layerOps(n int, execNs float64, weightBytes int64) []OpCost {
+	ops := make([]OpCost, n)
+	for i := range ops {
+		ops[i] = OpCost{Name: "layer", ExecNs: execNs, WeightBytes: weightBytes}
+	}
+	return ops
+}
+
+func TestEmulateComputeBound(t *testing.T) {
+	// Transfers far faster than execution: total ≈ first fetch + Σ exec.
+	ops := layerOps(10, 1000, 1000) // 1 KB at 1000 GB/s = 1 ns each
+	res, err := Emulate(ops, Config{HBMGBps: 1000, PrefetchBufBytes: 1 << 20, Mode: SingleOp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + 10*1000
+	if math.Abs(res.TotalNs-want) > 5 {
+		t.Errorf("total = %f, want ~%f", res.TotalNs, want)
+	}
+	if res.Stalls > 1.5 {
+		t.Errorf("compute-bound run should barely stall: %f", res.Stalls)
+	}
+}
+
+func TestEmulateMemoryBound(t *testing.T) {
+	// Transfers dominate: total ≈ Σ transfers + last exec.
+	ops := layerOps(10, 10, 1<<20) // 1 MB at 1 GB/s = ~1 ms each
+	res, err := Emulate(ops, Config{HBMGBps: 1, PrefetchBufBytes: 1 << 22, Mode: SingleOp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	transfer := float64(1<<20) / 1.0
+	if res.TotalNs < 10*transfer {
+		t.Errorf("memory-bound total %f below the transfer floor %f", res.TotalNs, 10*transfer)
+	}
+	if res.Stalls <= 0 {
+		t.Error("memory-bound run must stall")
+	}
+}
+
+func TestMoreBandwidthNeverHurts(t *testing.T) {
+	ops := layerOps(12, 50000, 64<<20)
+	var prev float64 = math.Inf(1)
+	for _, bw := range []float64{200, 400, 800, 1600, 3200, 6400} {
+		for _, mode := range []Mode{SingleOp, InterOp} {
+			res, err := Emulate(ops, Config{HBMGBps: bw, PrefetchBufBytes: 298 << 20, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode == SingleOp {
+				if res.TotalNs > prev*1.0001 {
+					t.Errorf("bw %f: latency %f regressed from %f", bw, res.TotalNs, prev)
+				}
+				prev = res.TotalNs
+			}
+		}
+	}
+}
+
+func TestInterOpGroupsAtLowBandwidth(t *testing.T) {
+	// Mixed compute intensities: grouping balances transfer against
+	// execution, beating Single-Op when HBM is the bottleneck (§6.8).
+	var ops []OpCost
+	for i := 0; i < 12; i++ {
+		if i%2 == 0 {
+			ops = append(ops, OpCost{Name: "heavy", ExecNs: 200000, WeightBytes: 8 << 20})
+		} else {
+			ops = append(ops, OpCost{Name: "light", ExecNs: 1000, WeightBytes: 64 << 20})
+		}
+	}
+	cfgS := Config{HBMGBps: 100, PrefetchBufBytes: 298 << 20, Mode: SingleOp}
+	cfgI := cfgS
+	cfgI.Mode = InterOp
+	s, err := Emulate(ops, cfgS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Emulate(ops, cfgI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Groups >= s.Groups {
+		t.Errorf("inter-op should form fewer groups: %d vs %d", g.Groups, s.Groups)
+	}
+	if g.TotalNs > s.TotalNs*1.05 {
+		t.Errorf("grouping should not hurt at low bandwidth: %f vs %f", g.TotalNs, s.TotalNs)
+	}
+}
+
+func TestEmulateErrors(t *testing.T) {
+	ops := layerOps(1, 10, 10)
+	if _, err := Emulate(ops, Config{HBMGBps: 0, PrefetchBufBytes: 1}); err == nil {
+		t.Error("zero bandwidth should error")
+	}
+	if _, err := Emulate(ops, Config{HBMGBps: 1, PrefetchBufBytes: 0}); err == nil {
+		t.Error("zero buffer should error")
+	}
+	big := layerOps(1, 10, 1<<30)
+	if _, err := Emulate(big, Config{HBMGBps: 1, PrefetchBufBytes: 1 << 20, Mode: SingleOp}); err == nil {
+		t.Error("oversized op should error")
+	}
+}
+
+func TestGroupPacking(t *testing.T) {
+	ops := layerOps(5, 10, 100)
+	groups, err := group(ops, Config{HBMGBps: 1, PrefetchBufBytes: 250, Mode: InterOp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100-byte ops into a 250-byte buffer: groups of 2,2,1
+	if len(groups) != 3 || len(groups[0]) != 2 || len(groups[2]) != 1 {
+		t.Errorf("grouping = %v", lens(groups))
+	}
+}
+
+func lens(g [][]OpCost) []int {
+	out := make([]int, len(g))
+	for i := range g {
+		out[i] = len(g[i])
+	}
+	return out
+}

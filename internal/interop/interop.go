@@ -1,0 +1,237 @@
+// Package interop implements T10's holistic inter-operator memory
+// reconciliation (§4.3.2, Algorithm 1).
+//
+// Every operator holds two plans: an idle plan, storing its weights
+// while other operators run, and an active plan used during execution.
+// Transitioning idle→active (the "plan setup" phase) re-arranges weight
+// partitions over the inter-core links, so keeping a larger (closer to
+// active) idle layout trades idle memory for setup time. The greedy
+// reconciliation starts from minimum-memory idle plans everywhere and
+// repeatedly upgrades the operator with the best setup-time-saved per
+// idle-byte-added ratio (−ΔT_S/ΔM_I), re-fitting every active plan to
+// the remaining memory after each move.
+package interop
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/search"
+)
+
+// OpPlans couples one operator with its intra-operator search result.
+type OpPlans struct {
+	Op     *graph.Op
+	Result *search.Result
+
+	// LiveBytesPerCore is the per-core footprint of activations that
+	// must stay resident while this operator runs but are not among its
+	// own inputs (skip connections; §4.4 liveness analysis). It shrinks
+	// the active-memory budget.
+	LiveBytesPerCore int64
+}
+
+// weightTensorIdxs maps the op's weight inputs to plan tensor indices
+// (identical indexing: plan tensors are inputs then output).
+func (o *OpPlans) weightTensorIdxs() []int {
+	return o.Op.WeightInputs
+}
+
+// repeat returns how many times the op executes per inference.
+func (o *OpPlans) repeat() float64 {
+	if o.Op.Repeat <= 0 {
+		return 1
+	}
+	return float64(o.Op.Repeat)
+}
+
+// Assignment is the reconciliation outcome for one operator.
+type Assignment struct {
+	Idle   *search.Candidate
+	Active *search.Candidate
+
+	// IdleMemPerCore is the per-core weight footprint in the idle layout.
+	IdleMemPerCore int64
+
+	// SetupNs is the idle→active transition cost charged at every
+	// execution of the operator.
+	SetupNs float64
+
+	// ExecNs is the active plan's estimated execution time.
+	ExecNs float64
+}
+
+// TracePoint records one step of the greedy search (the dots of Fig 20).
+type TracePoint struct {
+	IdleMemPerCore int64
+	TotalNs        float64
+}
+
+// Schedule is the end-to-end plan selection.
+type Schedule struct {
+	Assignments []Assignment
+	// TotalNs is Σ repeat·(setup + exec) over all operators.
+	TotalNs float64
+	// IdleMemPerCore is the Σ of idle weight footprints.
+	IdleMemPerCore int64
+	Trace          []TracePoint
+}
+
+// InfeasibleError reports that no plan assignment fits on-chip — the ✖
+// marks of Fig 12.
+type InfeasibleError struct {
+	Op     string
+	Budget int64
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("interop: operator %s has no plan fitting %d bytes/core", e.Op, e.Budget)
+}
+
+// idleMem returns the per-core weight bytes of op when idling in plan c.
+func idleMem(op *OpPlans, c *search.Candidate) int64 {
+	return c.Plan.MemOfTensors(op.weightTensorIdxs())
+}
+
+// SetupMovedBytes returns the per-core weight bytes that must move to
+// transition the operator from the idle to the active layout: zero when
+// the layouts coincide; otherwise the active weight partition must be
+// gathered over the links, with half of the overlapping bytes assumed
+// already local.
+func SetupMovedBytes(op *OpPlans, idle, active *search.Candidate) int64 {
+	if idle == active {
+		return 0
+	}
+	wa := active.Plan.MemOfTensors(op.weightTensorIdxs())
+	wi := idleMem(op, idle)
+	overlap := wi
+	if wa < overlap {
+		overlap = wa
+	}
+	moved := wa - overlap/2
+	if moved <= 0 {
+		return 0
+	}
+	return moved
+}
+
+// setupNs prices the idle→active weight re-layout.
+func setupNs(spec *device.Spec, op *OpPlans, idle, active *search.Candidate) float64 {
+	moved := SetupMovedBytes(op, idle, active)
+	if moved == 0 {
+		return 0
+	}
+	return float64(moved)/spec.LinkBytesPerNs() + spec.ExchangeStartupNs + spec.SyncNs
+}
+
+// ReconcileBaseline evaluates only Algorithm 1's starting point — every
+// operator idles in its minimum-memory plan and no idle layout is ever
+// upgraded. This is the ablation for the inter-operator optimization.
+func ReconcileBaseline(spec *device.Spec, ops []OpPlans, memPerCore int64) (*Schedule, error) {
+	return reconcile(spec, ops, memPerCore, false)
+}
+
+// Reconcile runs Algorithm 1 over the operators with the given per-core
+// memory capacity.
+func Reconcile(spec *device.Spec, ops []OpPlans, memPerCore int64) (*Schedule, error) {
+	return reconcile(spec, ops, memPerCore, true)
+}
+
+func reconcile(spec *device.Spec, ops []OpPlans, memPerCore int64, greedy bool) (*Schedule, error) {
+	n := len(ops)
+	if n == 0 {
+		return &Schedule{}, nil
+	}
+	// line 2-3: start from the memory-efficient plan everywhere
+	idle := make([]*search.Candidate, n)
+	var idleTotal int64
+	for i := range ops {
+		idle[i] = ops[i].Result.MinMemory()
+		if idle[i] == nil {
+			return nil, &InfeasibleError{Op: ops[i].Op.Name, Budget: memPerCore}
+		}
+		idleTotal += idleMem(&ops[i], idle[i])
+	}
+
+	evaluate := func(idle []*search.Candidate, idleTotal int64) ([]Assignment, float64, error) {
+		asg := make([]Assignment, n)
+		var total float64
+		for i := range ops {
+			// line 8: fastest active plan that fits next to everyone
+			// else's idle weights and the live skip activations (the
+			// operator's own idle space is reclaimed while it runs)
+			budget := memPerCore - (idleTotal - idleMem(&ops[i], idle[i])) - ops[i].LiveBytesPerCore
+			active := ops[i].Result.FastestWithin(budget)
+			if active == nil {
+				return nil, 0, &InfeasibleError{Op: ops[i].Op.Name, Budget: budget}
+			}
+			su := setupNs(spec, &ops[i], idle[i], active)
+			asg[i] = Assignment{
+				Idle: idle[i], Active: active,
+				IdleMemPerCore: idleMem(&ops[i], idle[i]),
+				SetupNs:        su,
+				ExecNs:         active.Est.TotalNs,
+			}
+			total += ops[i].repeat() * (su + active.Est.TotalNs)
+		}
+		return asg, total, nil
+	}
+
+	best := &Schedule{TotalNs: -1}
+	for {
+		asg, total, err := evaluate(idle, idleTotal)
+		if err != nil {
+			if best.TotalNs < 0 {
+				return nil, err
+			}
+			break
+		}
+		best.Trace = append(best.Trace, TracePoint{IdleMemPerCore: idleTotal, TotalNs: total})
+		if best.TotalNs < 0 || total < best.TotalNs {
+			best.TotalNs = total
+			best.Assignments = asg
+			best.IdleMemPerCore = idleTotal
+		}
+		if !greedy {
+			break
+		}
+
+		// line 13: the operator whose next idle plan saves the most setup
+		// time per added idle byte
+		bestOp, bestPlan := -1, (*search.Candidate)(nil)
+		bestRatio := 0.0
+		var bestDelta int64
+		for i := range ops {
+			cur := idleMem(&ops[i], idle[i])
+			curSetup := setupNs(spec, &ops[i], idle[i], asg[i].Active)
+			for pi := range ops[i].Result.Pareto {
+				cand := &ops[i].Result.Pareto[pi]
+				cm := idleMem(&ops[i], cand)
+				if cm <= cur {
+					continue
+				}
+				dM := cm - cur
+				if idleTotal+dM > memPerCore {
+					continue
+				}
+				dT := ops[i].repeat() * (curSetup - setupNs(spec, &ops[i], cand, asg[i].Active))
+				if dT <= 0 {
+					continue
+				}
+				if ratio := dT / float64(dM); ratio > bestRatio {
+					bestRatio, bestOp, bestPlan, bestDelta = ratio, i, cand, dM
+				}
+			}
+		}
+		if bestOp < 0 {
+			break
+		}
+		idle[bestOp] = bestPlan
+		idleTotal += bestDelta
+	}
+	if best.TotalNs < 0 {
+		return nil, &InfeasibleError{Op: ops[0].Op.Name, Budget: memPerCore}
+	}
+	return best, nil
+}

@@ -1,0 +1,158 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/expr"
+)
+
+func mk2() *device.Spec { return device.IPUMK2() }
+
+func TestMatMulScalesWithWork(t *testing.T) {
+	spec := mk2()
+	small := Task{Kind: expr.KindMatMul, M: 8, N: 8, K: 16, InBytes: 8*16*2 + 16*8*2, OutBytes: 8 * 8 * 2}
+	big := small
+	big.M, big.K = 64, 128
+	big.InBytes, big.OutBytes = 64*128*2+128*8*2, 64*8*2
+	cs, cb := Cycles(spec, small), Cycles(spec, big)
+	if cb <= cs {
+		t.Errorf("bigger matmul should cost more: %f vs %f", cb, cs)
+	}
+	// 64x128 is 64x the MAC work of 8x16; with overheads the ratio is lower
+	// but must still be substantial.
+	if cb < 4*cs {
+		t.Errorf("scaling too weak: %f vs %f", cb, cs)
+	}
+}
+
+func TestMatMulPaddingPenalty(t *testing.T) {
+	spec := mk2()
+	aligned := Task{Kind: expr.KindMatMul, M: 8, N: 16, K: 16}
+	unaligned := Task{Kind: expr.KindMatMul, M: 9, N: 16, K: 17}
+	ca, cu := Cycles(spec, aligned), Cycles(spec, unaligned)
+	if cu <= ca {
+		t.Errorf("unaligned shape should pay a padding penalty: %f vs %f", cu, ca)
+	}
+	// M=9 pads to 16 → roughly doubles MAC work
+	if cu < 1.3*ca {
+		t.Errorf("padding penalty too small: aligned %f unaligned %f", ca, cu)
+	}
+}
+
+func TestMatVecUnderutilizesAMP(t *testing.T) {
+	spec := mk2()
+	// LLM decode shape: M=2 (batch) pads to 8 → 25% utilization.
+	mv := Task{Kind: expr.KindMatMul, M: 2, N: 512, K: 512}
+	full := Task{Kind: expr.KindMatMul, M: 8, N: 512, K: 512}
+	cm, cf := Cycles(spec, mv), Cycles(spec, full)
+	// Same padded work: costs should be nearly identical.
+	if cm < 0.95*cf || cm > 1.05*cf {
+		t.Errorf("M=2 and M=8 should cost the same padded work: %f vs %f", cm, cf)
+	}
+}
+
+func TestMemoryBoundKernel(t *testing.T) {
+	spec := mk2()
+	// Tiny compute, huge operand traffic → memory stream dominates.
+	task := Task{Kind: expr.KindMatMul, M: 8, N: 1, K: 16, InBytes: 1 << 20, OutBytes: 0}
+	c := Cycles(spec, task)
+	memCycles := float64(1<<20) / float64(spec.LoadStoreBytesPerCycle)
+	if c < memCycles {
+		t.Errorf("memory-bound kernel under-counted: %f < %f", c, memCycles)
+	}
+}
+
+func TestConvCostsMoreThanEquivalentMatMul(t *testing.T) {
+	spec := mk2()
+	mm := Task{Kind: expr.KindMatMul, M: 196, N: 64, K: 576, KH: 1, KW: 1,
+		InBytes: 300000, OutBytes: 25088}
+	cv := mm
+	cv.Kind = expr.KindConv
+	cv.KH, cv.KW = 3, 3
+	if Cycles(spec, cv) <= Cycles(spec, mm) {
+		t.Error("conv should carry extra vendor-kernel overhead")
+	}
+}
+
+func TestVectorKernel(t *testing.T) {
+	spec := mk2()
+	small := Task{Kind: expr.KindElementwise, Elems: 1024, FLOPsPerElem: 1, InBytes: 2048, OutBytes: 2048}
+	big := Task{Kind: expr.KindElementwise, Elems: 65536, FLOPsPerElem: 1, InBytes: 131072, OutBytes: 131072}
+	if Cycles(spec, big) <= Cycles(spec, small) {
+		t.Error("vector kernel should scale with elements")
+	}
+	intense := small
+	intense.FLOPsPerElem = 32
+	if Cycles(spec, intense) <= Cycles(spec, small) {
+		t.Error("higher arithmetic intensity should cost more")
+	}
+}
+
+func TestGatherKernel(t *testing.T) {
+	spec := mk2()
+	few := Task{Kind: expr.KindGather, M: 8, InBytes: 8 * 1024 * 2, OutBytes: 8 * 1024 * 2}
+	many := Task{Kind: expr.KindGather, M: 512, InBytes: 512 * 1024 * 2, OutBytes: 512 * 1024 * 2}
+	if Cycles(spec, many) <= Cycles(spec, few) {
+		t.Error("gather should scale with rows")
+	}
+}
+
+func TestNanosecondsUsesClock(t *testing.T) {
+	spec := mk2()
+	task := Task{Kind: expr.KindMatMul, M: 64, N: 64, K: 64}
+	ns := Nanoseconds(spec, task)
+	cy := Cycles(spec, task)
+	if ns <= 0 || cy <= 0 {
+		t.Fatal("non-positive cost")
+	}
+	want := cy / spec.ClockGHz
+	if ns != want {
+		t.Errorf("Nanoseconds = %f, want %f", ns, want)
+	}
+}
+
+func TestPeakThroughputSanity(t *testing.T) {
+	// A large aligned matmul should approach (not exceed) the AMP peak.
+	spec := mk2()
+	task := Task{Kind: expr.KindMatMul, M: 128, N: 128, K: 256}
+	macs := float64(128 * 128 * 256)
+	cy := Cycles(spec, task)
+	idealCy := macs / float64(spec.AMPMACsPerCycle)
+	if cy < idealCy {
+		t.Errorf("kernel beats AMP peak: %f < %f", cy, idealCy)
+	}
+	if cy > 1.5*idealCy {
+		t.Errorf("large aligned matmul too far from peak: %f vs ideal %f", cy, idealCy)
+	}
+}
+
+func TestDeviceSpecSanity(t *testing.T) {
+	spec := mk2()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table 3: ~250 TFLOPS FP16
+	if tf := spec.PeakTFLOPS(); tf < 240 || tf > 260 {
+		t.Errorf("MK2 peak = %f TFLOPS, want ~250", tf)
+	}
+	// §2.1: ~8 TB/s aggregate inter-core bandwidth
+	if bw := spec.AggregateLinkGBps(); bw < 7500 || bw > 8500 {
+		t.Errorf("aggregate link bw = %f GB/s, want ~8000", bw)
+	}
+	// 896 MB total on-chip memory
+	if mem := spec.TotalMemBytes(); mem != int64(1472)*624*1024 {
+		t.Errorf("total mem = %d", mem)
+	}
+	v := device.VIPU(4)
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Cores != 5888 || v.CoresPerChip() != 1472 {
+		t.Errorf("VIPU(4) cores = %d per-chip %d", v.Cores, v.CoresPerChip())
+	}
+	sub := spec.Subset(368)
+	if sub.Cores != 368 || sub.Chips != 1 {
+		t.Errorf("subset = %+v", sub)
+	}
+}

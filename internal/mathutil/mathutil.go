@@ -1,0 +1,231 @@
+// Package mathutil provides small integer helpers used throughout the
+// compiler: ceiling division, rounding, divisor enumeration, bounded
+// factor-vector enumeration and combinatorial space counting.
+//
+// Everything here is deterministic and allocation-conscious; the plan
+// enumerator calls these functions millions of times.
+package mathutil
+
+import (
+	"math/big"
+)
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int) int {
+	if b <= 0 {
+		panic("mathutil: CeilDiv by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}
+
+// RoundUp returns the smallest multiple of m that is >= a. m must be positive.
+func RoundUp(a, m int) int {
+	if m <= 0 {
+		panic("mathutil: RoundUp with non-positive multiple")
+	}
+	return CeilDiv(a, m) * m
+}
+
+// GCD returns the greatest common divisor of a and b.
+func GCD(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b.
+// LCM(0, x) is defined as 0.
+func LCM(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / GCD(a, b) * b
+}
+
+// LCMAll returns the least common multiple of all values; LCMAll() == 1.
+func LCMAll(vs ...int) int {
+	l := 1
+	for _, v := range vs {
+		l = LCM(l, v)
+	}
+	return l
+}
+
+// Divisors returns all positive divisors of n in ascending order.
+func Divisors(n int) []int {
+	if n <= 0 {
+		panic("mathutil: Divisors of non-positive number")
+	}
+	var small, large []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			small = append(small, d)
+			if d != n/d {
+				large = append(large, n/d)
+			}
+		}
+	}
+	for i := len(large) - 1; i >= 0; i-- {
+		small = append(small, large[i])
+	}
+	return small
+}
+
+// Prod returns the product of all values; Prod() == 1.
+func Prod(vs ...int) int {
+	p := 1
+	for _, v := range vs {
+		p *= v
+	}
+	return p
+}
+
+// Sum returns the sum of all values.
+func Sum(vs ...int) int {
+	s := 0
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinOf returns the minimum of a non-empty slice.
+func MinOf(vs []int) int {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxOf returns the maximum of a non-empty slice.
+func MaxOf(vs []int) int {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// EnumFactorVectors calls yield for every vector f of length len(limits)
+// with 1 <= f[i] <= limits[i] and Prod(f) <= prodLimit. The yielded slice
+// is reused between calls; the callback must copy it if it retains it.
+// Enumeration stops early if yield returns false.
+//
+// This is the raw enumeration behind the operator partition factor Fop
+// search space (§4.3.1); callers layer the parallelism and padding
+// constraints on top.
+func EnumFactorVectors(limits []int, prodLimit int, yield func(f []int) bool) {
+	f := make([]int, len(limits))
+	var rec func(i, prod int) bool
+	rec = func(i, prod int) bool {
+		if i == len(limits) {
+			return yield(f)
+		}
+		max := limits[i]
+		if max > prodLimit/prod {
+			max = prodLimit / prod
+		}
+		for v := 1; v <= max; v++ {
+			f[i] = v
+			if !rec(i+1, prod*v) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 1)
+}
+
+// CountFactorVectors returns the number of vectors EnumFactorVectors would
+// yield, computed without materializing them. The count can exceed int64
+// for large spaces (Fig 18 reports up to 10^19 plans), hence big.Int.
+func CountFactorVectors(limits []int, prodLimit int) *big.Int {
+	// Dynamic program over the product value: counts[p] = number of
+	// prefixes with product exactly p. Product values are sparse divisors
+	// of nothing in particular (non-divisor factors allowed), so we key a
+	// map by product. Products are bounded by prodLimit.
+	counts := map[int]*big.Int{1: big.NewInt(1)}
+	for _, lim := range limits {
+		next := make(map[int]*big.Int)
+		for p, c := range counts {
+			max := lim
+			if max > prodLimit/p {
+				max = prodLimit / p
+			}
+			for v := 1; v <= max; v++ {
+				q := p * v
+				if n, ok := next[q]; ok {
+					n.Add(n, c)
+				} else {
+					next[q] = new(big.Int).Set(c)
+				}
+			}
+		}
+		counts = next
+	}
+	total := new(big.Int)
+	for _, c := range counts {
+		total.Add(total, c)
+	}
+	return total
+}
+
+// SplitRange divides [0, n) into p contiguous chunks of size ceil(n/p),
+// returning the half-open interval [lo, hi) of chunk i. The final chunks
+// may be empty when p does not divide n.
+func SplitRange(n, p, i int) (lo, hi int) {
+	c := CeilDiv(n, p)
+	lo = i * c
+	hi = lo + c
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Clamp bounds v into [lo, hi].
+func Clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// CeilDiv64 returns ceil(a/b) for positive b, in 64-bit arithmetic.
+func CeilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		panic("mathutil: CeilDiv64 by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}

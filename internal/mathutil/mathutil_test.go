@@ -1,0 +1,249 @@
+package mathutil
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 1, 0}, {1, 1, 1}, {5, 2, 3}, {6, 2, 3}, {7, 2, 4},
+		{1472, 624, 3}, {100, 100, 1}, {101, 100, 2},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CeilDiv(1,0) did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestRoundUp(t *testing.T) {
+	cases := []struct{ a, m, want int }{
+		{0, 4, 0}, {1, 4, 4}, {4, 4, 4}, {5, 4, 8}, {17, 16, 32}, {6, 3, 6},
+	}
+	for _, c := range cases {
+		if got := RoundUp(c.a, c.m); got != c.want {
+			t.Errorf("RoundUp(%d,%d) = %d, want %d", c.a, c.m, got, c.want)
+		}
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	if g := GCD(12, 18); g != 6 {
+		t.Errorf("GCD(12,18) = %d, want 6", g)
+	}
+	if g := GCD(7, 13); g != 1 {
+		t.Errorf("GCD(7,13) = %d, want 1", g)
+	}
+	if g := GCD(0, 5); g != 5 {
+		t.Errorf("GCD(0,5) = %d, want 5", g)
+	}
+	if l := LCM(4, 6); l != 12 {
+		t.Errorf("LCM(4,6) = %d, want 12", l)
+	}
+	if l := LCM(0, 6); l != 0 {
+		t.Errorf("LCM(0,6) = %d, want 0", l)
+	}
+	if l := LCMAll(2, 3, 4); l != 12 {
+		t.Errorf("LCMAll(2,3,4) = %d, want 12", l)
+	}
+	if l := LCMAll(); l != 1 {
+		t.Errorf("LCMAll() = %d, want 1", l)
+	}
+}
+
+func TestGCDLCMProperties(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a)+1, int(b)+1
+		g := GCD(x, y)
+		l := LCM(x, y)
+		return x%g == 0 && y%g == 0 && l%x == 0 && l%y == 0 && g*l == x*y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{1, []int{1}},
+		{12, []int{1, 2, 3, 4, 6, 12}},
+		{16, []int{1, 2, 4, 8, 16}},
+		{13, []int{1, 13}},
+	}
+	for _, c := range cases {
+		got := Divisors(c.n)
+		if len(got) != len(c.want) {
+			t.Errorf("Divisors(%d) = %v, want %v", c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Divisors(%d) = %v, want %v", c.n, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestDivisorsProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		m := int(n)%200 + 1
+		ds := Divisors(m)
+		// ascending, all divide, includes 1 and m
+		if ds[0] != 1 || ds[len(ds)-1] != m {
+			return false
+		}
+		for i, d := range ds {
+			if m%d != 0 {
+				return false
+			}
+			if i > 0 && ds[i-1] >= d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProdSumMinMax(t *testing.T) {
+	if Prod() != 1 {
+		t.Error("Prod() should be 1")
+	}
+	if Prod(2, 3, 4) != 24 {
+		t.Error("Prod(2,3,4) should be 24")
+	}
+	if Sum(1, 2, 3) != 6 {
+		t.Error("Sum(1,2,3) should be 6")
+	}
+	if Min(2, 3) != 2 || Max(2, 3) != 3 {
+		t.Error("Min/Max broken")
+	}
+	if MinOf([]int{5, 2, 9}) != 2 || MaxOf([]int{5, 2, 9}) != 9 {
+		t.Error("MinOf/MaxOf broken")
+	}
+}
+
+func TestEnumFactorVectorsExhaustive(t *testing.T) {
+	var got [][]int
+	EnumFactorVectors([]int{2, 3}, 4, func(f []int) bool {
+		cp := append([]int(nil), f...)
+		got = append(got, cp)
+		return true
+	})
+	want := [][]int{{1, 1}, {1, 2}, {1, 3}, {2, 1}, {2, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEnumFactorVectorsEarlyStop(t *testing.T) {
+	n := 0
+	EnumFactorVectors([]int{10, 10}, 100, func(f []int) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop yielded %d, want 5", n)
+	}
+}
+
+func TestCountMatchesEnum(t *testing.T) {
+	cases := []struct {
+		limits []int
+		lim    int
+	}{
+		{[]int{2, 3}, 4},
+		{[]int{8, 8, 8}, 16},
+		{[]int{5}, 3},
+		{[]int{7, 7, 7, 7}, 11},
+	}
+	for _, c := range cases {
+		n := 0
+		EnumFactorVectors(c.limits, c.lim, func([]int) bool { n++; return true })
+		if got := CountFactorVectors(c.limits, c.lim); got.Cmp(big.NewInt(int64(n))) != 0 {
+			t.Errorf("Count(%v,%d) = %s, enum found %d", c.limits, c.lim, got, n)
+		}
+	}
+}
+
+func TestCountLargeSpaceDoesNotOverflow(t *testing.T) {
+	// A 7-axis conv-like space: the complete space must be huge but finite.
+	limits := []int{256, 64, 64, 56, 56, 3, 3}
+	got := CountFactorVectors(limits, 1472)
+	if got.Sign() <= 0 {
+		t.Fatalf("count should be positive, got %s", got)
+	}
+	if got.Cmp(big.NewInt(100_000)) < 0 {
+		t.Fatalf("7-axis space suspiciously small: %s", got)
+	}
+	// cross-check against the enumerator on a reduced bound
+	n := 0
+	EnumFactorVectors(limits, 64, func([]int) bool { n++; return true })
+	if got64 := CountFactorVectors(limits, 64); got64.Cmp(big.NewInt(int64(n))) != 0 {
+		t.Fatalf("count %s != enumerated %d at bound 64", got64, n)
+	}
+}
+
+func TestSplitRange(t *testing.T) {
+	// 10 elements over 4 chunks of ceil(10/4)=3: [0,3) [3,6) [6,9) [9,10)
+	wants := [][2]int{{0, 3}, {3, 6}, {6, 9}, {9, 10}}
+	for i, w := range wants {
+		lo, hi := SplitRange(10, 4, i)
+		if lo != w[0] || hi != w[1] {
+			t.Errorf("SplitRange(10,4,%d) = [%d,%d), want [%d,%d)", i, lo, hi, w[0], w[1])
+		}
+	}
+	// chunks past the end are empty
+	lo, hi := SplitRange(4, 8, 7)
+	if lo != hi {
+		t.Errorf("chunk past end should be empty, got [%d,%d)", lo, hi)
+	}
+}
+
+func TestSplitRangeCoversAll(t *testing.T) {
+	f := func(n, p uint8) bool {
+		nn, pp := int(n)%100+1, int(p)%16+1
+		covered := 0
+		prevHi := 0
+		for i := 0; i < pp; i++ {
+			lo, hi := SplitRange(nn, pp, i)
+			if lo != prevHi && lo < nn {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp broken")
+	}
+}

@@ -1,0 +1,164 @@
+package models
+
+import (
+	"testing"
+)
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, name := range Table2() {
+		for _, batch := range []int{1, 8} {
+			m, err := Build(name, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Errorf("%s bs%d: %v", name, batch, err)
+			}
+		}
+	}
+	for _, cfg := range LLMConfigs() {
+		m := LLMDecode(cfg, 8)
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestBERTParamCount(t *testing.T) {
+	// Table 2: BERT has ~340M parameters.
+	m := BERT(1)
+	params := m.ParamCount()
+	if params < 300e6 || params > 380e6 {
+		t.Errorf("BERT params = %d, want ~340M", params)
+	}
+}
+
+func TestViTParamCount(t *testing.T) {
+	// Table 2: ViT has ~86M parameters.
+	params := ViT(1).ParamCount()
+	if params < 75e6 || params > 95e6 {
+		t.Errorf("ViT params = %d, want ~86M", params)
+	}
+}
+
+func TestResNetParamCount(t *testing.T) {
+	// Table 2: ResNet-18 has ~11M parameters.
+	params := ResNet(1).ParamCount()
+	if params < 10e6 || params > 13e6 {
+		t.Errorf("ResNet params = %d, want ~11M", params)
+	}
+}
+
+func TestNeRFParamCount(t *testing.T) {
+	// Table 2: the NeRF MLP has ~24K parameters.
+	params := NeRF(1).ParamCount()
+	if params < 15e3 || params > 40e3 {
+		t.Errorf("NeRF params = %d, want ~24K", params)
+	}
+}
+
+func TestLLMLayerParamCounts(t *testing.T) {
+	// Per-layer parameters: OPT layers have 12·H² (QKV 3H², proj H²,
+	// FFN 8H²); the evaluated subsets must extrapolate to the model size.
+	wantTotal := map[string]float64{
+		"OPT-1.3B":    1.3e9,
+		"OPT-2.7B":    2.7e9,
+		"OPT-6.7B":    6.7e9,
+		"OPT-13B":     13e9,
+		"Llama2-7B":   7e9,
+		"Llama2-13B":  13e9,
+		"RetNet-1.3B": 1.3e9,
+	}
+	fullLayers := map[string]int{
+		"OPT-1.3B": 24, "OPT-2.7B": 32, "OPT-6.7B": 32, "OPT-13B": 40,
+		"Llama2-7B": 32, "Llama2-13B": 40, "RetNet-1.3B": 24,
+	}
+	for _, cfg := range LLMConfigs() {
+		m := LLMDecode(cfg, 1)
+		perLayer := float64(m.ParamCount()) / float64(cfg.Layers)
+		full := perLayer * float64(fullLayers[cfg.Name])
+		want := wantTotal[cfg.Name]
+		// decoder layers carry most (not all) parameters: allow a wide
+		// band but catch order-of-magnitude errors
+		if full < 0.5*want || full > 1.3*want {
+			t.Errorf("%s: %0.0f per layer × %d layers = %0.2g, want ~%0.2g",
+				cfg.Name, perLayer, fullLayers[cfg.Name], full, want)
+		}
+	}
+}
+
+func TestFLOPsScaleWithBatch(t *testing.T) {
+	for _, name := range Table2() {
+		m1, _ := Build(name, 1)
+		m2, _ := Build(name, 2)
+		f1, f2 := m1.FLOPs(), m2.FLOPs()
+		if f2 < f1*18/10 {
+			t.Errorf("%s: FLOPs %d → %d should roughly double with batch", name, f1, f2)
+		}
+	}
+}
+
+func TestWeightBytesFitOnChip(t *testing.T) {
+	// §6.7 motivation: a single OPT-13B layer (~314M params, fp16) fits
+	// in the 896MB of on-chip memory; the full model does not.
+	m := LLMDecode(LLMConfigs()[3], 1) // OPT-13B, 1 layer
+	bytes := m.ParamBytes()
+	if bytes > 896<<20 {
+		t.Errorf("one OPT-13B layer (%d bytes) should fit on chip", bytes)
+	}
+	if bytes < 400<<20 {
+		t.Errorf("one OPT-13B layer suspiciously small: %d bytes", bytes)
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("GPT-5", 1); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestBatchesListed(t *testing.T) {
+	if len(Batches("ResNet")) != 9 || Batches("ResNet")[8] != 256 {
+		t.Errorf("ResNet batches = %v", Batches("ResNet"))
+	}
+	if len(Batches("NeRF")) != 1 {
+		t.Errorf("NeRF batches = %v", Batches("NeRF"))
+	}
+}
+
+func TestGraphValidateCatchesBadSources(t *testing.T) {
+	m := BERT(1)
+	m.Ops[0].Sources[0] = 5 // forward reference
+	if err := m.Validate(); err == nil {
+		t.Error("forward reference should fail validation")
+	}
+}
+
+func TestTrainingStepValidatesAndScales(t *testing.T) {
+	m := TransformerTrainingStep(4, 128, 1024, 4096, 4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// a training step costs roughly 3x the forward FLOPs
+	fwd := int64(0)
+	bwd := int64(0)
+	for i := range m.Ops {
+		f := m.Ops[i].Expr.FLOPs() * int64(maxInt(m.Ops[i].Repeat, 1))
+		if len(m.Ops[i].Name) >= 4 && m.Ops[i].Name[:4] == "fwd_" {
+			fwd += f
+		}
+		if len(m.Ops[i].Name) >= 4 && m.Ops[i].Name[:4] == "bwd_" {
+			bwd += f
+		}
+	}
+	if bwd < fwd*17/10 || bwd > fwd*25/10 {
+		t.Errorf("backward/forward FLOP ratio = %.2f, want ~2", float64(bwd)/float64(fwd))
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

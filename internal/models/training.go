@@ -1,0 +1,43 @@
+package models
+
+import (
+	"repro/internal/dtype"
+	"repro/internal/expr"
+	"repro/internal/graph"
+)
+
+// TransformerTrainingStep builds one training step of a transformer
+// layer: the forward pass, the backward pass (two matmuls per forward
+// projection — dX = dY·Wᵀ and dW = Xᵀ·dY), and the elementwise weight
+// update. The paper notes T10 "supports all common operators ... from
+// DNN workloads in both inference and training" (§4.2) while evaluating
+// inference only; this builder exercises the training side of that
+// claim. Layers counts how many identical layers the step trains.
+func TransformerTrainingStep(batch, seq, hidden, ffn, layers int) *graph.Model {
+	rows := batch * seq
+	b := newBuilder("TransformerTrain", batch)
+
+	// ---- forward -------------------------------------------------------
+	b.matmul("fwd_qkv", rows, hidden, 3*hidden, layers)
+	b.matmul("fwd_proj", rows, hidden, hidden, layers)
+	b.matmul("fwd_ffn1", rows, hidden, ffn, layers)
+	b.add(expr.Elementwise("fwd_gelu", rows, ffn, 8, dtype.FP16), nil, layers)
+	b.matmul("fwd_ffn2", rows, ffn, hidden, layers)
+	b.add(expr.Elementwise("loss_grad", rows, hidden, 4, dtype.FP16), nil, 1)
+
+	// ---- backward ------------------------------------------------------
+	// dX = dY · Wᵀ flows the gradient; dW = Xᵀ · dY produces the weight
+	// gradient (the m axis of the weight-gradient matmul is the feature
+	// dim, its reduction runs over the batch rows).
+	bwd := func(name string, in, out int) {
+		b.matmul("bwd_"+name+"_dx", rows, out, in, layers)
+		b.add(expr.MatMul("bwd_"+name+"_dw", in, rows, out, dtype.FP16), nil, layers)
+		b.add(expr.Elementwise("upd_"+name, in, out, 4, dtype.FP16), nil, layers)
+	}
+	bwd("ffn2", ffn, hidden)
+	b.add(expr.Elementwise("bwd_gelu", rows, ffn, 8, dtype.FP16), nil, layers)
+	bwd("ffn1", hidden, ffn)
+	bwd("proj", hidden, hidden)
+	bwd("qkv", hidden, 3*hidden)
+	return b.m
+}

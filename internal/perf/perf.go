@@ -1,0 +1,74 @@
+// Package perf defines the performance report types shared by the T10
+// compiler, the VGM baselines and the GPU roofline estimator, so the
+// experiment harness can compare them uniformly.
+package perf
+
+import "time"
+
+// OpReport is the per-operator execution summary (one logical operator;
+// times already include the Repeat factor).
+type OpReport struct {
+	Name   string
+	Repeat int
+
+	ComputeNs  float64
+	ExchangeNs float64
+	SyncNs     float64
+	SetupNs    float64
+	TotalNs    float64
+
+	BytesMoved int64
+	// ShiftBytes is the subset of BytesMoved carried by the operator's
+	// own exchanges (compute-shift rotations or VGM loads/stores), as
+	// opposed to setup/transition re-layouts.
+	ShiftBytes int64
+	MemPerCore int64
+}
+
+// Report is an end-to-end model execution summary.
+type Report struct {
+	Model    string
+	Compiler string
+
+	TotalNs    float64
+	ComputeNs  float64
+	ExchangeNs float64
+	SyncNs     float64
+	SetupNs    float64
+
+	BytesMoved     int64
+	ShiftBytes     int64
+	MemPeakPerCore int64
+
+	Ops []OpReport
+
+	// Infeasible marks configurations that do not fit on-chip — the ✖
+	// marks of Fig 12; Reason says why.
+	Infeasible bool
+	Reason     string
+
+	CompileTime time.Duration
+}
+
+// LatencyMs returns the end-to-end latency in milliseconds.
+func (r *Report) LatencyMs() float64 { return r.TotalNs / 1e6 }
+
+// TransferFraction returns the share of time spent moving data between
+// cores (the breakdown of Fig 13).
+func (r *Report) TransferFraction() float64 {
+	if r.TotalNs == 0 {
+		return 0
+	}
+	return (r.ExchangeNs + r.SetupNs) / r.TotalNs
+}
+
+// AvgCoreBandwidthGBps is the Fig 14 metric: the bandwidth each core
+// achieves while the chip is moving operator data (the paper measures
+// "during inter-core data transfers", so plan-setup re-layouts are
+// excluded).
+func (r *Report) AvgCoreBandwidthGBps(cores int) float64 {
+	if r.ExchangeNs == 0 {
+		return 0
+	}
+	return float64(r.ShiftBytes) / r.ExchangeNs / float64(cores)
+}

@@ -1,0 +1,54 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyMs(t *testing.T) {
+	r := Report{TotalNs: 2_500_000}
+	if got := r.LatencyMs(); got != 2.5 {
+		t.Errorf("LatencyMs = %f", got)
+	}
+}
+
+func TestTransferFraction(t *testing.T) {
+	r := Report{TotalNs: 100, ExchangeNs: 30, SetupNs: 20}
+	if got := r.TransferFraction(); got != 0.5 {
+		t.Errorf("TransferFraction = %f", got)
+	}
+	empty := Report{}
+	if empty.TransferFraction() != 0 {
+		t.Error("empty report should have zero transfer fraction")
+	}
+}
+
+func TestAvgCoreBandwidth(t *testing.T) {
+	// 5500 bytes over 1000 ns across 1 core = 5.5 GB/s
+	r := Report{ExchangeNs: 1000, ShiftBytes: 5500}
+	if got := r.AvgCoreBandwidthGBps(1); got != 5.5 {
+		t.Errorf("bandwidth = %f", got)
+	}
+	if (&Report{}).AvgCoreBandwidthGBps(1472) != 0 {
+		t.Error("no exchange time should mean zero bandwidth")
+	}
+}
+
+func TestTransferFractionBounded(t *testing.T) {
+	f := func(c, e, s uint16) bool {
+		r := Report{
+			ComputeNs:  float64(c),
+			ExchangeNs: float64(e),
+			SetupNs:    float64(s),
+		}
+		r.TotalNs = r.ComputeNs + r.ExchangeNs + r.SetupNs
+		if r.TotalNs == 0 {
+			return r.TransferFraction() == 0
+		}
+		frac := r.TransferFraction()
+		return frac >= 0 && frac <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,417 @@
+// Package search implements T10's intra-operator optimization (§4.3.1):
+// it enumerates compute-shift execution plans — operator partition
+// factors Fop and per-tensor temporal factors f_t — prices each with the
+// fitted cost model, filters with the user-configurable parallelism and
+// padding constraints, and keeps the Pareto-optimal frontier between
+// execution time and per-core memory.
+//
+// The enumeration mirrors the paper's filtering story (Fig 18): the
+// complete space is astronomically large (it grows exponentially with
+// the operator's dimension count), the rule-based constraints cut it to
+// at most a few thousand candidates, and the cost model reduces those to
+// a few dozen Pareto-optimal plans.
+package search
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/device"
+	"repro/internal/expr"
+	"repro/internal/mathutil"
+)
+
+// Constraints are the user-configurable plan filters of §4.3.1.
+type Constraints struct {
+	// ParallelismMin keeps plans that use at least this fraction of the
+	// maximum achievable core count for the operator (paper example: 0.9).
+	ParallelismMin float64
+
+	// PaddingMin keeps plans whose original/padded size ratio is at
+	// least this value on every axis (paper example: 0.9 → at most 11%
+	// padding overhead).
+	PaddingMin float64
+
+	// MaxFtCombos caps the temporal-factor combinations considered per
+	// tensor per Fop (a safety valve; generous by default).
+	MaxFtCombos int
+}
+
+// DefaultConstraints returns the paper's example settings.
+func DefaultConstraints() Constraints {
+	return Constraints{ParallelismMin: 0.9, PaddingMin: 0.9, MaxFtCombos: 64}
+}
+
+// Spaces reports the three space sizes of Fig 18.
+type Spaces struct {
+	// Complete is the size of the unconstrained plan space (all Fop over
+	// full axis ranges × all temporal factorizations), estimated by
+	// deterministic sampling — the exact number cannot be enumerated,
+	// which is the paper's point.
+	Complete *big.Int
+
+	// Filtered is the number of plans that survived the rule-based
+	// constraints and were priced by the cost model.
+	Filtered int
+
+	// Optimized is the number of Pareto-optimal plans kept.
+	Optimized int
+}
+
+// Candidate is one priced plan.
+type Candidate struct {
+	Plan *core.Plan
+	Est  core.Estimate
+}
+
+// Result is the outcome of one operator search.
+type Result struct {
+	Op      string
+	Pareto  []Candidate // sorted by MemPerCore ascending (time descending)
+	All     []Candidate // every priced candidate, kept when KeepAll is set
+	Spaces  Spaces
+	Elapsed time.Duration
+}
+
+// MinMemory returns the Pareto plan with the smallest footprint.
+func (r *Result) MinMemory() *Candidate {
+	if len(r.Pareto) == 0 {
+		return nil
+	}
+	return &r.Pareto[0]
+}
+
+// FastestWithin returns the fastest Pareto plan whose per-core memory
+// fits in the budget, or nil if none fits.
+func (r *Result) FastestWithin(memBudget int64) *Candidate {
+	var best *Candidate
+	for i := range r.Pareto {
+		c := &r.Pareto[i]
+		if c.Est.MemPerCore <= memBudget {
+			if best == nil || c.Est.TotalNs < best.Est.TotalNs {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// Searcher runs intra-operator searches with a shared cost model and a
+// plan cache (identical operators reuse results, as the paper notes).
+type Searcher struct {
+	Spec    *device.Spec
+	CM      *costmodel.Set
+	Cons    Constraints
+	Cfg     core.Config
+	KeepAll bool
+
+	mu    sync.Mutex
+	cache map[string]*Result
+}
+
+// New creates a Searcher.
+func New(spec *device.Spec, cm *costmodel.Set, cons Constraints, cfg core.Config) *Searcher {
+	return &Searcher{Spec: spec, CM: cm, Cons: cons, Cfg: cfg, cache: make(map[string]*Result)}
+}
+
+// SearchOp finds the Pareto-optimal plans for one operator.
+func (s *Searcher) SearchOp(e *expr.Expr) (*Result, error) {
+	key := e.Signature()
+	s.mu.Lock()
+	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	start := time.Now()
+	r := &Result{Op: e.Name}
+
+	fops := s.enumerateFops(e)
+	if len(fops) == 0 {
+		return nil, fmt.Errorf("search %s: no operator partition passes the constraints", e.Name)
+	}
+	var all []Candidate
+	for _, fop := range fops {
+		s.expandFts(e, fop, func(fts [][]int) {
+			p, err := core.NewPlan(e, fop, fts, s.Cfg)
+			if err != nil {
+				return
+			}
+			if !s.paddingOK(e, p) {
+				return
+			}
+			if p.MemPerCore() > int64(s.Spec.CoreMemBytes) {
+				return
+			}
+			all = append(all, Candidate{Plan: p, Est: p.Estimate(s.CM)})
+		})
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("search %s: every candidate exceeds core memory", e.Name)
+	}
+	r.Spaces.Filtered = len(all)
+	r.Pareto = paretoFront(all)
+	r.Spaces.Optimized = len(r.Pareto)
+	r.Spaces.Complete = s.CompleteSpace(e)
+	if s.KeepAll {
+		r.All = all
+	}
+	r.Elapsed = time.Since(start)
+
+	s.mu.Lock()
+	s.cache[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// axisCandidates returns the Fop values considered for one axis: exact
+// divisors of the axis length (no padding), powers of two, and divisors
+// of the core count (which let products land on the chip exactly), all
+// subject to the padding constraint.
+func (s *Searcher) axisCandidates(length int) []int {
+	limit := mathutil.Min(length, s.Spec.Cores)
+	set := map[int]bool{1: true, limit: true}
+	for _, d := range mathutil.Divisors(length) {
+		if d <= limit {
+			set[d] = true
+		}
+	}
+	for v := 1; v <= limit; v *= 2 {
+		set[v] = true
+	}
+	for _, d := range mathutil.Divisors(s.Spec.Cores) {
+		if d <= limit {
+			set[d] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		if s.axisPaddingOK(length, v) {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (s *Searcher) axisPaddingOK(length, f int) bool {
+	padded := mathutil.CeilDiv(length, f) * f
+	return float64(length)/float64(padded) >= s.Cons.PaddingMin
+}
+
+// paddingOK re-checks the padding ratio after temporal factors rounded
+// the sub-operator extents up.
+func (s *Searcher) paddingOK(e *expr.Expr, p *core.Plan) bool {
+	for a := range e.Axes {
+		padded := p.SubLen[a] * p.Fop[a]
+		if float64(e.Axes[a].Size)/float64(padded) < s.Cons.PaddingMin {
+			return false
+		}
+	}
+	return true
+}
+
+// enumerateFops lists the operator partition factors passing the
+// parallelism constraint. Gather axes are never spatially partitioned
+// (the table shards temporally instead).
+func (s *Searcher) enumerateFops(e *expr.Expr) [][]int {
+	cands := make([][]int, len(e.Axes))
+	for a, ax := range e.Axes {
+		if ax.Kind == expr.Gather {
+			cands[a] = []int{1}
+			continue
+		}
+		cands[a] = s.axisCandidates(ax.Size)
+	}
+	// pass 1: the maximum achievable core count over the candidate grid
+	maxProd := 1
+	var walk func(a, prod int)
+	walk = func(a, prod int) {
+		if prod > maxProd {
+			maxProd = prod
+		}
+		if a == len(cands) {
+			return
+		}
+		for _, v := range cands[a] {
+			if prod*v > s.Spec.Cores {
+				continue
+			}
+			walk(a+1, prod*v)
+		}
+	}
+	walk(0, 1)
+
+	minProd := int(s.Cons.ParallelismMin * float64(maxProd))
+	var out [][]int
+	fop := make([]int, len(cands))
+	var gen func(a, prod int)
+	gen = func(a, prod int) {
+		if a == len(cands) {
+			if prod >= minProd {
+				out = append(out, append([]int(nil), fop...))
+			}
+			return
+		}
+		// prune: even the largest remaining factors cannot reach minProd
+		rest := 1
+		for b := a; b < len(cands); b++ {
+			rest *= cands[b][len(cands[b])-1]
+			if prod*rest >= minProd {
+				break
+			}
+		}
+		if prod*rest < minProd {
+			return
+		}
+		for _, v := range cands[a] {
+			if prod*v > s.Spec.Cores {
+				continue
+			}
+			fop[a] = v
+			gen(a+1, prod*v)
+		}
+	}
+	gen(0, 1)
+	return out
+}
+
+// expandFts enumerates temporal-factor assignments for all input tensors
+// under one Fop and invokes fn for each combination. The output tensor
+// never takes temporal factors.
+func (s *Searcher) expandFts(e *expr.Expr, fop []int, fn func(fts [][]int)) {
+	tensors := e.Tensors()
+	perTensor := make([][][]int, len(tensors))
+	for ti, tr := range tensors {
+		if ti == len(tensors)-1 {
+			perTensor[ti] = [][]int{nil}
+			continue
+		}
+		share := 1
+		for a := range e.Axes {
+			if fop[a] > 1 && !expr.ContainsAxis(tr, a) {
+				share *= fop[a]
+			}
+		}
+		perTensor[ti] = s.ftChoices(tr, share)
+	}
+	fts := make([][]int, len(tensors))
+	var rec func(ti int)
+	rec = func(ti int) {
+		if ti == len(tensors) {
+			fn(fts)
+			return
+		}
+		for _, choice := range perTensor[ti] {
+			fts[ti] = choice
+			rec(ti + 1)
+		}
+	}
+	rec(0)
+}
+
+// ftChoices lists the temporal factor vectors of one tensor: products of
+// divisors of the sharing degree distributed over the tensor's
+// single-axis stride-1 dims. When the space exceeds MaxFtCombos it is
+// subsampled evenly across the replication spectrum (sorted by ∏ft), so
+// both the fully replicated and the fully partitioned layouts survive —
+// the inter-operator scheduler needs the extremes.
+func (s *Searcher) ftChoices(tr expr.TensorRef, share int) [][]int {
+	nd := len(tr.Dims)
+	if share <= 1 {
+		return [][]int{nil}
+	}
+	eligible := make([]bool, nd)
+	for d, dim := range tr.Dims {
+		eligible[d] = !dim.Compound() && dim.Terms[0].Stride == 1
+	}
+	const hardCap = 4096
+	var out [][]int
+	ft := make([]int, nd)
+	for i := range ft {
+		ft[i] = 1
+	}
+	var rec func(d, rem int)
+	rec = func(d, rem int) {
+		if len(out) >= hardCap {
+			return
+		}
+		if d == nd {
+			out = append(out, append([]int(nil), ft...))
+			return
+		}
+		if !eligible[d] {
+			rec(d+1, rem)
+			return
+		}
+		for _, v := range mathutil.Divisors(rem) {
+			ft[d] = v
+			rec(d+1, rem/v)
+		}
+		ft[d] = 1
+	}
+	rec(0, share)
+	if len(out) <= s.Cons.MaxFtCombos {
+		return out
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := mathutil.Prod(out[i]...), mathutil.Prod(out[j]...)
+		if pi != pj {
+			return pi < pj
+		}
+		// total order: lexicographic tie-break keeps subsampling
+		// deterministic across runs
+		for d := range out[i] {
+			if out[i][d] != out[j][d] {
+				return out[i][d] < out[j][d]
+			}
+		}
+		return false
+	})
+	kept := make([][]int, 0, s.Cons.MaxFtCombos)
+	step := float64(len(out)-1) / float64(s.Cons.MaxFtCombos-1)
+	prev := -1
+	for i := 0; i < s.Cons.MaxFtCombos; i++ {
+		idx := int(float64(i) * step)
+		if idx == prev {
+			continue
+		}
+		kept = append(kept, out[idx])
+		prev = idx
+	}
+	return kept
+}
+
+// paretoFront keeps the candidates on the memory/time Pareto frontier:
+// each kept plan is faster than everything with the same or less memory
+// (§4.3.1). The result is sorted by memory ascending.
+func paretoFront(all []Candidate) []Candidate {
+	sorted := append([]Candidate(nil), all...)
+	// stable: exact (mem, time) ties resolve by enumeration order, so
+	// the chosen plans are reproducible across runs
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Est.MemPerCore != sorted[j].Est.MemPerCore {
+			return sorted[i].Est.MemPerCore < sorted[j].Est.MemPerCore
+		}
+		return sorted[i].Est.TotalNs < sorted[j].Est.TotalNs
+	})
+	var front []Candidate
+	best := 0.0
+	for _, c := range sorted {
+		if len(front) == 0 || c.Est.TotalNs < best {
+			if len(front) > 0 && front[len(front)-1].Est.MemPerCore == c.Est.MemPerCore {
+				front[len(front)-1] = c
+			} else {
+				front = append(front, c)
+			}
+			best = c.Est.TotalNs
+		}
+	}
+	return front
+}

@@ -1,0 +1,211 @@
+package vgm
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+	"repro/internal/models"
+)
+
+func mk2() *device.Spec { return device.IPUMK2() }
+
+func TestShapeOfMatMul(t *testing.T) {
+	e := expr.MatMul("mm", 128, 1024, 4096, dtype.FP16)
+	s := shapeOf(e)
+	if s.M != 128 || s.K != 1024 || s.N != 4096 {
+		t.Errorf("roles = M%d K%d N%d", s.M, s.K, s.N)
+	}
+	if !s.hasB || s.bBytes != 1024*4096*2 {
+		t.Errorf("B bytes = %d", s.bBytes)
+	}
+}
+
+func TestShapeOfConv(t *testing.T) {
+	e := expr.Conv2D("c", 8, 64, 64, 56, 56, 3, 3, 1, dtype.FP16)
+	s := shapeOf(e)
+	if s.M != 8*56*56 || s.N != 64 || s.K != 64*9 {
+		t.Errorf("roles = M%d N%d K%d", s.M, s.N, s.K)
+	}
+	if s.kh != 3 || s.kw != 3 {
+		t.Errorf("window = %dx%d", s.kh, s.kw)
+	}
+}
+
+func TestRollerTileFitsBudget(t *testing.T) {
+	c := New(Roller, mk2())
+	s := shapeOf(expr.MatMul("mm", 1024, 1024, 4096, dtype.FP16))
+	budget := int64(200 * 1024)
+	tl, err := c.rollerTile(s, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.workingSet(tl) > budget {
+		t.Errorf("working set %d exceeds budget %d", s.workingSet(tl), budget)
+	}
+	// a larger budget should never choose a lower-intensity tile
+	tl2, err := c.rollerTile(s, 2*budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1 := float64(tl.m*tl.n*tl.k) / float64(tl.m*tl.k+tl.k*tl.n+tl.m*tl.n)
+	i2 := float64(tl2.m*tl2.n*tl2.k) / float64(tl2.m*tl2.k+tl2.k*tl2.n+tl2.m*tl2.n)
+	if i2 < i1 {
+		t.Errorf("more memory should not reduce intensity: %f -> %f", i1, i2)
+	}
+}
+
+func TestRollerRejectsImpossibleBudget(t *testing.T) {
+	c := New(Roller, mk2())
+	s := shapeOf(expr.MatMul("mm", 1024, 1024, 1024, dtype.FP16))
+	if _, err := c.rollerTile(s, 4); err == nil {
+		t.Error("4-byte budget must fail")
+	}
+}
+
+func TestOwnersOfSplitsAcrossChunks(t *testing.T) {
+	// 1000-byte tensor, 100-byte chunks: a read of [50, 250) touches
+	// owners 0,1,2.
+	tr := ownersOf(nil, 1000, 50, 200, 100, 42, true)
+	if len(tr) != 3 {
+		t.Fatalf("transfers = %d, want 3", len(tr))
+	}
+	wantBytes := []int64{50, 100, 50}
+	wantSrc := []int{0, 1, 2}
+	var total int64
+	for i, x := range tr {
+		if x.Dst != 42 || x.Src != wantSrc[i] || x.Bytes != wantBytes[i] {
+			t.Errorf("transfer %d = %+v", i, x)
+		}
+		total += x.Bytes
+	}
+	if total != 200 {
+		t.Errorf("total = %d", total)
+	}
+	// store direction flips src/dst
+	st := ownersOf(nil, 1000, 0, 100, 100, 42, false)
+	if st[0].Src != 42 || st[0].Dst != 0 {
+		t.Errorf("store transfer = %+v", st[0])
+	}
+}
+
+func TestOwnersOfWrapsOffsets(t *testing.T) {
+	tr := ownersOf(nil, 1000, 950, 100, 100, 1, true)
+	var total int64
+	for _, x := range tr {
+		if x.Src < 0 || x.Src > 9 {
+			t.Errorf("owner out of range: %+v", x)
+		}
+		total += x.Bytes
+	}
+	if total != 100 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestCompileBERTAllBaselines(t *testing.T) {
+	m := models.BERT(1)
+	for _, kind := range []Kind{Roller, Ansor, PopART} {
+		c := New(kind, mk2())
+		rep, err := c.CompileModel(m)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if rep.Infeasible {
+			t.Fatalf("%v: BERT BS1 should fit: %s", kind, rep.Reason)
+		}
+		if rep.TotalNs <= 0 || rep.ExchangeNs <= 0 {
+			t.Errorf("%v: degenerate report %+v", kind, rep.TotalNs)
+		}
+		// §2.2: VGM compilers spend a large share of time in inter-core
+		// transfers (50–74% in Fig 13)
+		if f := rep.TransferFraction(); f < 0.25 {
+			t.Errorf("%v: transfer fraction %f suspiciously low for a VGM compiler", kind, f)
+		}
+		t.Logf("%v BERT-BS1: %.3f ms (%.0f%% transfer)", kind, rep.LatencyMs(), 100*rep.TransferFraction())
+	}
+}
+
+func TestVGMRunsOutOfMemoryAtLargeBatch(t *testing.T) {
+	// Fig 12: baselines hit ✖ as batch grows. Find the breaking point for
+	// PopART on BERT; it must exist and bigger batches must stay broken.
+	c := New(PopART, mk2())
+	broke := -1
+	for _, bs := range []int{1, 4, 16, 64, 256, 1024} {
+		rep, err := c.CompileModel(models.BERT(bs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Infeasible {
+			broke = bs
+			break
+		}
+	}
+	if broke < 0 {
+		t.Error("PopART should eventually run out of on-chip memory on BERT")
+	}
+}
+
+func TestBandwidthUtilizationBelowRoofline(t *testing.T) {
+	c := New(Roller, mk2())
+	rep, err := c.CompileModel(models.BERT(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := rep.AvgCoreBandwidthGBps(mk2().Cores)
+	if bw > mk2().LinkGBps {
+		t.Errorf("VGM bandwidth %f exceeds the 5.5 GB/s roofline", bw)
+	}
+	if bw <= 0 {
+		t.Error("no bandwidth measured")
+	}
+	t.Logf("Roller avg per-core bandwidth: %.2f GB/s (roofline %.1f)", bw, mk2().LinkGBps)
+}
+
+func TestFig2Stats(t *testing.T) {
+	m := models.BERT(8)
+	c := New(Roller, mk2())
+	// find the ffn1 matmul
+	idx := -1
+	for i := range m.Ops {
+		if m.Ops[i].Name == "ffn1" {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no ffn1 in BERT")
+	}
+	active, subOp, err := c.Fig2Stats(m, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if active <= 0 || subOp <= 0 {
+		t.Fatalf("degenerate stats: %d %d", active, subOp)
+	}
+	// Fig 2: the recoverable active-operator region is a meaningful
+	// fraction of the sub-operator region (tens of percent).
+	ratio := float64(active) / float64(subOp)
+	if ratio < 0.02 || ratio > 10 {
+		t.Errorf("active/sub-op ratio %f out of any plausible range", ratio)
+	}
+	t.Logf("BERT-BS8 ffn1: active %d B, sub-op %d B, ratio %.1f%%", active, subOp, 100*ratio)
+}
+
+func TestRepeatScalesCost(t *testing.T) {
+	m1 := models.BERT(1)
+	// halve the repeats: total time should drop substantially
+	m2 := models.BERT(1)
+	for i := range m2.Ops {
+		if m2.Ops[i].Repeat > 1 {
+			m2.Ops[i].Repeat /= 2
+		}
+	}
+	c := New(Roller, mk2())
+	r1, _ := c.CompileModel(m1)
+	r2, _ := c.CompileModel(m2)
+	if r2.TotalNs >= r1.TotalNs {
+		t.Error("halving layer repeats should reduce total time")
+	}
+}

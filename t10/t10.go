@@ -1,0 +1,284 @@
+// Package t10 is the public interface of the T10 reproduction: a deep
+// learning compiler for inter-core connected intelligence processors
+// (SOSP'24). It compiles operator graphs into compute-shift execution
+// plans over the simulated chip, applying both optimization stages of
+// the paper: the intra-operator Pareto search (§4.3.1) and the holistic
+// inter-operator memory reconciliation (§4.3.2).
+//
+// Typical use:
+//
+//	c, _ := t10.New(device.IPUMK2(), t10.DefaultOptions())
+//	exe, _ := c.CompileModel(models.BERT(8))
+//	report := exe.Simulate()
+//	fmt.Printf("latency: %.3f ms\n", report.LatencyMs())
+package t10
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/device"
+	"repro/internal/expr"
+	"repro/internal/graph"
+	"repro/internal/interop"
+	"repro/internal/perf"
+	"repro/internal/search"
+	"repro/internal/sim"
+)
+
+// Options configures the compiler.
+type Options struct {
+	// Constraints are the intra-operator search filters (§4.3.1).
+	Constraints search.Constraints
+
+	// PlanConfig carries plan-construction knobs (shift buffer size, §5).
+	PlanConfig core.Config
+
+	// InterOp enables the inter-operator memory reconciliation
+	// (§4.3.2); disabling it keeps every operator at its minimum-memory
+	// idle plan (the ablation baseline).
+	InterOp bool
+
+	// KeepAllCandidates retains every priced plan per operator (the
+	// scatter data of Fig 17); costs memory.
+	KeepAllCandidates bool
+}
+
+// DefaultOptions returns the paper's defaults.
+func DefaultOptions() Options {
+	return Options{
+		Constraints: search.DefaultConstraints(),
+		PlanConfig:  core.DefaultConfig(),
+		InterOp:     true,
+	}
+}
+
+// Compiler compiles models for one device.
+type Compiler struct {
+	Spec *device.Spec
+	CM   *costmodel.Set
+	Opts Options
+
+	searcher *search.Searcher
+}
+
+// New profiles the device, fits the cost models and returns a compiler.
+func New(spec *device.Spec, opts Options) (*Compiler, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cm, err := costmodel.NewSet(spec)
+	if err != nil {
+		return nil, err
+	}
+	s := search.New(spec, cm, opts.Constraints, opts.PlanConfig)
+	s.KeepAll = opts.KeepAllCandidates
+	return &Compiler{Spec: spec, CM: cm, Opts: opts, searcher: s}, nil
+}
+
+// RegisterCostFunc installs a custom cost function for the named
+// operator (the §4.3.1 user interface for custom kernels).
+func (c *Compiler) RegisterCostFunc(opName string, f costmodel.CostFunc) {
+	c.CM.RegisterCustom(opName, f)
+}
+
+// SearchOp exposes the intra-operator search (used by the experiment
+// harness and by users compiling single kernels).
+func (c *Compiler) SearchOp(e *expr.Expr) (*search.Result, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return c.searcher.SearchOp(e)
+}
+
+// Executable is a compiled model: per-operator idle/active plans plus
+// the reconciliation schedule.
+type Executable struct {
+	Model    *graph.Model
+	Spec     *device.Spec
+	Schedule *interop.Schedule
+	Plans    []interop.OpPlans
+
+	CompileTime time.Duration
+}
+
+// CompileModel searches every operator (in parallel across unique
+// shapes), reconciles memory across operators and returns the
+// executable. Configurations that cannot fit on-chip return an
+// *interop.InfeasibleError.
+func (c *Compiler) CompileModel(m *graph.Model) (*Executable, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// search unique operator shapes in parallel
+	type job struct{ e *expr.Expr }
+	unique := make(map[string]*expr.Expr)
+	for i := range m.Ops {
+		unique[m.Ops[i].Expr.Signature()] = m.Ops[i].Expr
+	}
+	jobs := make(chan job, len(unique))
+	for _, e := range unique {
+		jobs <- job{e: e}
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(unique))
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if _, err := c.searcher.SearchOp(j.e); err != nil {
+					errs <- fmt.Errorf("op %s: %w", j.e.Name, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+
+	extraLive := m.ExtraLiveBytes()
+	plans := make([]interop.OpPlans, len(m.Ops))
+	for i := range m.Ops {
+		r, err := c.searcher.SearchOp(m.Ops[i].Expr)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = interop.OpPlans{
+			Op: &m.Ops[i], Result: r,
+			LiveBytesPerCore: ceilDiv64(extraLive[i], int64(c.Spec.Cores)),
+		}
+	}
+
+	var sched *interop.Schedule
+	var err error
+	if c.Opts.InterOp {
+		sched, err = interop.Reconcile(c.Spec, plans, int64(c.Spec.CoreMemBytes))
+	} else {
+		sched, err = interop.ReconcileBaseline(c.Spec, plans, int64(c.Spec.CoreMemBytes))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Executable{
+		Model: m, Spec: c.Spec, Schedule: sched, Plans: plans,
+		CompileTime: time.Since(start),
+	}, nil
+}
+
+// Simulate lowers every operator's active plan onto the simulated chip,
+// charges the idle→active setup phases and inter-operator transitions,
+// and returns the end-to-end report.
+func (e *Executable) Simulate() *perf.Report {
+	rep := &perf.Report{Model: e.Model.Name, Compiler: "T10", CompileTime: e.CompileTime}
+	for i := range e.Model.Ops {
+		op := &e.Model.Ops[i]
+		asg := &e.Schedule.Assignments[i]
+		repeat := op.Repeat
+		if repeat <= 0 {
+			repeat = 1
+		}
+		f := float64(repeat)
+
+		opRep := perf.OpReport{Name: op.Name, Repeat: repeat}
+
+		// idle→active setup
+		moved := interop.SetupMovedBytes(&e.Plans[i], asg.Idle, asg.Active)
+		if moved > 0 {
+			prog := codegen.SetupProgram(e.Spec, moved*int64(e.Spec.Cores), false)
+			st := sim.Run(e.Spec, prog)
+			opRep.SetupNs += st.TotalNs * f
+			opRep.BytesMoved += st.BytesMoved * int64(repeat)
+		}
+
+		// inter-operator transition for the activation input
+		if tb := e.transitionBytes(i); tb > 0 {
+			st := sim.Run(e.Spec, codegen.TransitionProgram(e.Spec, tb))
+			opRep.SetupNs += st.TotalNs * f
+			opRep.BytesMoved += st.BytesMoved * int64(repeat)
+		}
+
+		// the operator itself
+		prog, err := codegen.Lower(e.Spec, asg.Active.Plan)
+		if err != nil {
+			// Lower re-validates placement; search only emits valid plans,
+			// so this is a compiler bug worth crashing on.
+			panic(fmt.Sprintf("t10: lowering validated plan failed: %v", err))
+		}
+		st := sim.Run(e.Spec, prog)
+		opRep.ComputeNs = st.ComputeNs * f
+		opRep.ExchangeNs = st.ExchangeNs * f
+		opRep.SyncNs = st.SyncNs * f
+		opRep.BytesMoved += st.BytesMoved * int64(repeat)
+		opRep.ShiftBytes = st.BytesMoved * int64(repeat)
+		opRep.MemPerCore = st.MemPeakPerCore + (e.Schedule.IdleMemPerCore - asg.IdleMemPerCore) +
+			e.Plans[i].LiveBytesPerCore
+		opRep.TotalNs = opRep.ComputeNs + opRep.ExchangeNs + opRep.SyncNs + opRep.SetupNs
+
+		rep.Ops = append(rep.Ops, opRep)
+		rep.ComputeNs += opRep.ComputeNs
+		rep.ExchangeNs += opRep.ExchangeNs
+		rep.SyncNs += opRep.SyncNs
+		rep.SetupNs += opRep.SetupNs
+		rep.TotalNs += opRep.TotalNs
+		rep.BytesMoved += opRep.BytesMoved
+		rep.ShiftBytes += opRep.ShiftBytes
+		if opRep.MemPerCore > rep.MemPeakPerCore {
+			rep.MemPeakPerCore = opRep.MemPerCore
+		}
+	}
+	return rep
+}
+
+// transitionBytes returns the activation bytes that must re-arrange
+// between the producer's output layout and operator i's input layout
+// (§5 "inter-operator transition"); zero when the layouts agree.
+func (e *Executable) transitionBytes(i int) int64 {
+	op := &e.Model.Ops[i]
+	for j, src := range op.Sources {
+		if src == graph.External || op.IsWeight(j) {
+			continue
+		}
+		prod := e.Schedule.Assignments[src].Active.Plan
+		cons := e.Schedule.Assignments[i].Active.Plan
+		pOut := prod.Tensors[len(prod.Tensors)-1]
+		cIn := cons.Tensors[j]
+		if layoutsMatch(&pOut, &cIn) {
+			continue
+		}
+		return op.Expr.TensorBytes(op.Expr.Inputs[j])
+	}
+	return 0
+}
+
+// layoutsMatch reports whether two rTensor layouts partition the same
+// data identically (same spatial split, no temporal re-split, no
+// replication mismatch).
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		panic("t10: ceilDiv64 by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}
+
+func layoutsMatch(a, b *core.RTensor) bool {
+	if len(a.Fs) != len(b.Fs) {
+		return false
+	}
+	for d := range a.Fs {
+		if a.Fs[d] != b.Fs[d] || a.Ft[d] != b.Ft[d] {
+			return false
+		}
+	}
+	return a.Rings == b.Rings
+}

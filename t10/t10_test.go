@@ -1,0 +1,192 @@
+package t10
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+	"repro/internal/kernel"
+	"repro/internal/models"
+	"repro/internal/vgm"
+)
+
+var (
+	once     sync.Once
+	compiler *Compiler
+)
+
+func mk2Compiler(t *testing.T) *Compiler {
+	t.Helper()
+	once.Do(func() {
+		c, err := New(device.IPUMK2(), DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
+		compiler = c
+	})
+	return compiler
+}
+
+func TestCompileSingleOp(t *testing.T) {
+	c := mk2Compiler(t)
+	r, err := c.SearchOp(expr.MatMul("mm", 1024, 1024, 4096, dtype.FP16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pareto) == 0 {
+		t.Fatal("no plans")
+	}
+}
+
+func TestCompileAndSimulateBERT(t *testing.T) {
+	c := mk2Compiler(t)
+	exe, err := c.CompileModel(models.BERT(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := exe.Simulate()
+	if rep.TotalNs <= 0 {
+		t.Fatal("no latency")
+	}
+	if rep.MemPeakPerCore > int64(c.Spec.CoreMemBytes) {
+		t.Errorf("memory peak %d exceeds core memory", rep.MemPeakPerCore)
+	}
+	// §6.2: T10 keeps the communication share at 8–43%; allow headroom
+	// but it must be far below the VGM baselines' 50–74%.
+	if f := rep.TransferFraction(); f > 0.5 {
+		t.Errorf("T10 transfer fraction %f too high", f)
+	}
+	t.Logf("T10 BERT-BS1: %.3f ms (%.0f%% transfer, compile %s)",
+		rep.LatencyMs(), 100*rep.TransferFraction(), rep.CompileTime)
+}
+
+func TestT10BeatsRollerOnBERT(t *testing.T) {
+	// The headline result (Fig 12): T10 outperforms the VGM baselines.
+	c := mk2Compiler(t)
+	exe, err := c.CompileModel(models.BERT(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t10Rep := exe.Simulate()
+	rollerRep, err := vgm.New(vgm.Roller, c.Spec).CompileModel(models.BERT(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rollerRep.Infeasible {
+		t.Fatal("Roller infeasible on BERT BS1")
+	}
+	speedup := rollerRep.TotalNs / t10Rep.TotalNs
+	if speedup < 1.0 {
+		t.Errorf("T10 (%.3f ms) should beat Roller (%.3f ms)", t10Rep.LatencyMs(), rollerRep.LatencyMs())
+	}
+	t.Logf("BERT-BS1 speedup over Roller: %.2fx", speedup)
+}
+
+func TestInterOpReconciliationHelps(t *testing.T) {
+	// Ablation: disabling §4.3.2 must not make the model faster.
+	spec := device.IPUMK2()
+	withOpts := DefaultOptions()
+	without := DefaultOptions()
+	without.InterOp = false
+	cWith, err := New(spec, withOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cWithout, err := New(spec, without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := models.BERT(1)
+	e1, err := cWith.CompileModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := cWithout.CompileModel(models.BERT(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := e1.Simulate(), e2.Simulate()
+	if r1.TotalNs > r2.TotalNs*1.001 {
+		t.Errorf("inter-op reconciliation made things worse: %.3f vs %.3f ms",
+			r1.LatencyMs(), r2.LatencyMs())
+	}
+	t.Logf("inter-op on: %.3f ms, off: %.3f ms", r1.LatencyMs(), r2.LatencyMs())
+}
+
+func TestCustomCostFunction(t *testing.T) {
+	c, err := New(device.IPUMK2(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	c.RegisterCostFunc("special", func(task kernel.Task) float64 {
+		called = true
+		return 1000
+	})
+	if _, err := c.SearchOp(expr.MatMul("special", 256, 256, 256, dtype.FP16)); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("custom cost function never consulted")
+	}
+}
+
+func TestLLMDecodeCompiles(t *testing.T) {
+	c := mk2Compiler(t)
+	cfg := models.LLMConfigs()[0] // OPT-1.3B
+	exe, err := c.CompileModel(models.LLMDecode(cfg, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := exe.Simulate()
+	if rep.TotalNs <= 0 {
+		t.Fatal("no latency")
+	}
+	t.Logf("%s BS8 decode: %.3f ms", cfg.Name, rep.LatencyMs())
+}
+
+func TestInvalidModelRejected(t *testing.T) {
+	c := mk2Compiler(t)
+	m := models.BERT(1)
+	m.Ops[0].Sources[0] = 99
+	if _, err := c.CompileModel(m); err == nil {
+		t.Error("invalid model should be rejected")
+	}
+}
+
+func TestSimulateChargesSetupAndTransitions(t *testing.T) {
+	c := mk2Compiler(t)
+	exe, err := c.CompileModel(models.BERT(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := exe.Simulate()
+	// a 24-layer transformer inevitably re-arranges some layouts
+	if rep.SetupNs <= 0 {
+		t.Error("no setup/transition time charged across a whole model")
+	}
+	if len(rep.Ops) != len(exe.Model.Ops) {
+		t.Errorf("per-op reports: %d for %d ops", len(rep.Ops), len(exe.Model.Ops))
+	}
+}
+
+func TestTrainingStepCompiles(t *testing.T) {
+	// §4.2: the compiler handles training graphs too — forward, backward
+	// and update ops all plan and simulate.
+	c := mk2Compiler(t)
+	m := models.TransformerTrainingStep(2, 128, 1024, 4096, 2)
+	exe, err := c.CompileModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := exe.Simulate()
+	if rep.TotalNs <= 0 {
+		t.Fatal("no latency")
+	}
+	if rep.MemPeakPerCore > int64(c.Spec.CoreMemBytes) {
+		t.Errorf("training step exceeds core memory: %d", rep.MemPeakPerCore)
+	}
+	t.Logf("training step (2 layers, BS2): %.3f ms", rep.LatencyMs())
+}
