@@ -1,0 +1,24 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI stay identical.
+
+GO ?= go
+
+.PHONY: build test bench lint fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a smoke run proving the harness and every
+# experiment still execute, not a measurement.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt:
+	gofmt -w .

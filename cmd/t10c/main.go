@@ -25,6 +25,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print full rTensor configurations")
 	save := flag.String("save", "", "write the operator graph as JSON and exit")
 	load := flag.String("load", "", "compile a JSON operator graph instead of a built-in model")
+	cacheDir := flag.String("cachedir", "", "on-disk plan cache directory (repeated invocations skip the search)")
+	workers := flag.Int("workers", 0, "search worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var m *graph.Model
@@ -56,7 +58,10 @@ func main() {
 		fmt.Printf("wrote %s (%d ops)\n", *save, len(m.Ops))
 		return
 	}
-	c, err := t10.New(device.IPUMK2(), t10.DefaultOptions())
+	opts := t10.DefaultOptions()
+	opts.CacheDir = *cacheDir
+	opts.Workers = *workers
+	c, err := t10.New(device.IPUMK2(), opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -66,6 +71,11 @@ func main() {
 	}
 	fmt.Printf("%s (batch %d): %d ops, %s params, compiled in %s\n",
 		m.Name, m.BatchSize, len(m.Ops), human(m.ParamCount()), exe.CompileTime.Round(1e6))
+	if *cacheDir != "" {
+		st := c.CacheStats()
+		fmt.Printf("plan cache: %d hits, %d misses, %d disk hits, %d disk writes\n",
+			st.Hits, st.Misses, st.DiskHits, st.DiskWrites)
+	}
 	fmt.Printf("idle memory: %.1f%% of each core\n\n",
 		100*float64(exe.Schedule.IdleMemPerCore)/float64(c.Spec.CoreMemBytes))
 

@@ -1,0 +1,269 @@
+// t10serve is the heavy-traffic serving scenario end-to-end: an HTTP
+// service that compiles models (or single operators) on demand, backed
+// by the concurrent compilation pipeline and the content-addressed plan
+// cache, so repeated requests for the same workload skip the Pareto
+// search entirely.
+//
+// Endpoints:
+//
+//	POST /compile    {"model":"BERT","batch":8,"simulate":true}
+//	                 {"op":{"name":"mm","m":1024,"k":1024,"n":4096,"dtype":"fp16"}}
+//	GET  /cachestats plan cache counters as JSON
+//	GET  /healthz    liveness probe
+//
+// Usage:
+//
+//	t10serve -addr :8080 -cachedir /var/cache/t10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+	"repro/internal/models"
+	"repro/t10"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cachedir", "", "on-disk plan cache directory")
+	workers := flag.Int("workers", 0, "search worker pool size per compile (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	opts := t10.DefaultOptions()
+	opts.CacheDir = *cacheDir
+	opts.Workers = *workers
+	c, err := t10.New(device.IPUMK2(), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "t10serve:", err)
+		os.Exit(1)
+	}
+	log.Printf("t10serve: listening on %s (device %s, cache dir %q)", *addr, c.Spec.Name, *cacheDir)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(c).mux(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute, // big-model compiles take a while
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+// maxBodyBytes bounds /compile request bodies; the largest legitimate
+// request is a few hundred bytes of JSON.
+const maxBodyBytes = 1 << 20
+
+// server wires one compiler into the HTTP handlers. The compiler is
+// safe for concurrent compiles: the plan cache and the searcher's
+// in-flight deduplication do the heavy lifting.
+type server struct {
+	c *t10.Compiler
+}
+
+func newServer(c *t10.Compiler) *server { return &server{c: c} }
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/compile", s.handleCompile)
+	m.HandleFunc("/cachestats", s.handleCacheStats)
+	m.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return m
+}
+
+// compileRequest compiles either a built-in model or a single matmul
+// operator spec.
+type compileRequest struct {
+	Model    string  `json:"model,omitempty"`
+	Batch    int     `json:"batch,omitempty"`
+	Simulate bool    `json:"simulate,omitempty"`
+	Op       *opSpec `json:"op,omitempty"`
+}
+
+type opSpec struct {
+	Name  string `json:"name"`
+	M     int    `json:"m"`
+	K     int    `json:"k"`
+	N     int    `json:"n"`
+	DType string `json:"dtype,omitempty"` // fp16 (default), fp32
+}
+
+type opPlanJSON struct {
+	Name     string  `json:"name"`
+	Repeat   int     `json:"repeat"`
+	Fop      []int   `json:"fop"`
+	Steps    int     `json:"steps"`
+	ActiveKB float64 `json:"active_kb"`
+	IdleKB   float64 `json:"idle_kb"`
+	EstUs    float64 `json:"est_us"`
+	SetupUs  float64 `json:"setup_us"`
+}
+
+type compileResponse struct {
+	Model      string       `json:"model,omitempty"`
+	Batch      int          `json:"batch,omitempty"`
+	Ops        int          `json:"ops"`
+	CompileMs  float64      `json:"compile_ms"`
+	IdleMemPct float64      `json:"idle_mem_pct"`
+	LatencyMs  float64      `json:"latency_ms,omitempty"`
+	Plans      []opPlanJSON `json:"plans"`
+}
+
+type paretoPlanJSON struct {
+	Fop       []int   `json:"fop"`
+	Steps     int     `json:"steps"`
+	MemKB     float64 `json:"mem_kb"`
+	EstUs     float64 `json:"est_us"`
+	ShiftKB   float64 `json:"shift_kb"`
+	PlanNotes string  `json:"plan,omitempty"`
+}
+
+type searchResponse struct {
+	Op       string           `json:"op"`
+	Filtered int              `json:"filtered"`
+	Pareto   []paretoPlanJSON `json:"pareto"`
+	SearchMs float64          `json:"search_ms"`
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req compileRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	switch {
+	case req.Op != nil:
+		s.compileOp(w, req.Op)
+	case req.Model != "":
+		s.compileModel(w, &req)
+	default:
+		httpError(w, http.StatusBadRequest, `need "model" or "op"`)
+	}
+}
+
+func (s *server) compileModel(w http.ResponseWriter, req *compileRequest) {
+	batch := req.Batch
+	if batch <= 0 {
+		batch = 1
+	}
+	m, err := models.Build(req.Model, batch)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	exe, err := s.c.CompileModel(m)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "compile %s: %v", req.Model, err)
+		return
+	}
+	resp := compileResponse{
+		Model:      m.Name,
+		Batch:      m.BatchSize,
+		Ops:        len(m.Ops),
+		CompileMs:  float64(time.Since(start).Microseconds()) / 1e3,
+		IdleMemPct: 100 * float64(exe.Schedule.IdleMemPerCore) / float64(s.c.Spec.CoreMemBytes),
+	}
+	for i := range m.Ops {
+		op := &m.Ops[i]
+		asg := &exe.Schedule.Assignments[i]
+		repeat := op.Repeat
+		if repeat <= 0 {
+			repeat = 1
+		}
+		resp.Plans = append(resp.Plans, opPlanJSON{
+			Name:     op.Name,
+			Repeat:   repeat,
+			Fop:      asg.Active.Plan.Fop,
+			Steps:    asg.Active.Plan.TotalSteps,
+			ActiveKB: float64(asg.Active.Est.MemPerCore) / 1024,
+			IdleKB:   float64(asg.IdleMemPerCore) / 1024,
+			EstUs:    asg.ExecNs / 1e3,
+			SetupUs:  asg.SetupNs / 1e3,
+		})
+	}
+	if req.Simulate {
+		resp.LatencyMs = exe.Simulate().LatencyMs()
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) compileOp(w http.ResponseWriter, spec *opSpec) {
+	if spec.M <= 0 || spec.K <= 0 || spec.N <= 0 {
+		httpError(w, http.StatusBadRequest, "op needs positive m, k, n")
+		return
+	}
+	name := spec.Name
+	if name == "" {
+		name = "op"
+	}
+	var elem dtype.Type
+	switch strings.ToLower(spec.DType) {
+	case "", "fp16":
+		elem = dtype.FP16
+	case "fp32":
+		elem = dtype.FP32
+	default:
+		httpError(w, http.StatusBadRequest, "unsupported dtype %q", spec.DType)
+		return
+	}
+	start := time.Now()
+	res, err := s.c.SearchOp(expr.MatMul(name, spec.M, spec.K, spec.N, elem))
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "search %s: %v", name, err)
+		return
+	}
+	resp := searchResponse{
+		Op:       res.Op,
+		Filtered: res.Spaces.Filtered,
+		SearchMs: float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	for i := range res.Pareto {
+		c := &res.Pareto[i]
+		resp.Pareto = append(resp.Pareto, paretoPlanJSON{
+			Fop:     c.Plan.Fop,
+			Steps:   c.Plan.TotalSteps,
+			MemKB:   float64(c.Est.MemPerCore) / 1024,
+			EstUs:   c.Est.TotalNs / 1e3,
+			ShiftKB: float64(c.Est.ShiftBytesPerCore) / 1024,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, s.c.CacheStats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("t10serve: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/plancache"
+	"repro/t10"
+)
+
+var (
+	srvOnce sync.Once
+	srv     *httptest.Server
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srvOnce.Do(func() {
+		c, err := t10.New(device.IPUMK2(), t10.DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
+		srv = httptest.NewServer(newServer(c).mux())
+	})
+	return srv
+}
+
+func postJSON(t *testing.T, url, body string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func getStats(t *testing.T, base string) plancache.Stats {
+	t.Helper()
+	resp, err := http.Get(base + "/cachestats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/cachestats: %s", resp.Status)
+	}
+	var st plancache.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestCompileBERTTwiceHitsCache is the serving acceptance scenario:
+// the second identical request answers every repeated encoder operator
+// from the plan cache, visible in /cachestats.
+func TestCompileBERTTwiceHitsCache(t *testing.T) {
+	s := testServer(t)
+	const req = `{"model":"BERT","batch":8}`
+
+	var first compileResponse
+	if resp := postJSON(t, s.URL+"/compile", req, &first); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first compile: %s", resp.Status)
+	}
+	if first.Ops == 0 || len(first.Plans) != first.Ops {
+		t.Fatalf("bad first response: %+v", first)
+	}
+	before := getStats(t, s.URL)
+
+	var second compileResponse
+	if resp := postJSON(t, s.URL+"/compile", req, &second); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second compile: %s", resp.Status)
+	}
+	after := getStats(t, s.URL)
+
+	hits := after.Hits - before.Hits
+	if hits < int64(first.Ops) {
+		t.Errorf("second compile: %d cache hits for %d ops", hits, first.Ops)
+	}
+	if after.Misses != before.Misses {
+		t.Errorf("second compile missed the cache %d times", after.Misses-before.Misses)
+	}
+	// identical requests must select identical plans
+	aj, _ := json.Marshal(first.Plans)
+	bj, _ := json.Marshal(second.Plans)
+	if string(aj) != string(bj) {
+		t.Error("repeated compile selected different plans")
+	}
+	if ops := len(models.BERT(8).Ops); first.Ops != ops {
+		t.Errorf("served %d ops, model has %d", first.Ops, ops)
+	}
+}
+
+func TestCompileWithSimulate(t *testing.T) {
+	s := testServer(t)
+	var resp compileResponse
+	if r := postJSON(t, s.URL+"/compile", `{"model":"BERT","batch":1,"simulate":true}`, &resp); r.StatusCode != http.StatusOK {
+		t.Fatalf("compile: %s", r.Status)
+	}
+	if resp.LatencyMs <= 0 {
+		t.Errorf("simulate=true returned latency %v", resp.LatencyMs)
+	}
+}
+
+func TestCompileOpSpec(t *testing.T) {
+	s := testServer(t)
+	var resp searchResponse
+	r := postJSON(t, s.URL+"/compile",
+		`{"op":{"name":"mm","m":1024,"k":1024,"n":4096,"dtype":"fp16"}}`, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("op search: %s", r.Status)
+	}
+	if len(resp.Pareto) == 0 {
+		t.Fatal("no Pareto plans returned")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"model":"NoSuchModel"}`, http.StatusBadRequest},
+		{`{"op":{"m":0,"k":1,"n":1}}`, http.StatusBadRequest},
+		{`{"op":{"m":8,"k":8,"n":8,"dtype":"int7"}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if resp := postJSON(t, s.URL+"/compile", tc.body, nil); resp.StatusCode != tc.want {
+			t.Errorf("body %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	resp, err := http.Get(s.URL + "/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /compile: %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := testServer(t)
+	resp, err := http.Get(s.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %s", resp.Status)
+	}
+}

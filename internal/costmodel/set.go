@@ -2,6 +2,7 @@ package costmodel
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/device"
 	"repro/internal/expr"
@@ -15,6 +16,8 @@ type Set struct {
 	Spec   *device.Spec
 	models map[expr.OpKind]*Model
 	acc    map[expr.OpKind]Accuracy
+
+	mu     sync.RWMutex // guards custom: searches read it from a worker pool
 	custom map[string]CostFunc
 }
 
@@ -64,13 +67,28 @@ func MustNewSet(spec *device.Spec) *Set {
 // RegisterCustom installs a user-supplied cost function for the named
 // operator; it takes precedence over the fitted model.
 func (s *Set) RegisterCustom(opName string, f CostFunc) {
+	s.mu.Lock()
 	s.custom[opName] = f
+	s.mu.Unlock()
+}
+
+// HasCustom reports whether a custom cost function is registered for
+// the named operator. The plan cache keys on it: results priced by a
+// custom function must not be served to (or from) the fitted model.
+func (s *Set) HasCustom(opName string) bool {
+	s.mu.RLock()
+	_, ok := s.custom[opName]
+	s.mu.RUnlock()
+	return ok
 }
 
 // PredictTask estimates the per-core time of a sub-task for the named
 // operator in nanoseconds.
 func (s *Set) PredictTask(opName string, t kernel.Task) float64 {
-	if f, ok := s.custom[opName]; ok {
+	s.mu.RLock()
+	f, ok := s.custom[opName]
+	s.mu.RUnlock()
+	if ok {
 		return f(t)
 	}
 	m, ok := s.models[t.Kind]

@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/perf"
+	"repro/internal/plancache"
 	"repro/internal/vgm"
 	"repro/t10"
 )
@@ -22,6 +23,11 @@ type Harness struct {
 	// still cover the min/mid/max batch of every model.
 	Quick bool
 
+	// planCache is shared by every compiler the harness builds: the
+	// experiment suite re-compiles the same models across figures, and
+	// fingerprints keep per-device results separate.
+	planCache *plancache.Cache
+
 	mu        sync.Mutex
 	t10BySpec map[string]*t10.Compiler
 	repCache  map[string]*perf.Report
@@ -31,6 +37,7 @@ type Harness struct {
 func New() (*Harness, error) {
 	h := &Harness{
 		Spec:      device.IPUMK2(),
+		planCache: plancache.New(plancache.Options{}),
 		t10BySpec: make(map[string]*t10.Compiler),
 		repCache:  make(map[string]*perf.Report),
 	}
@@ -47,13 +54,18 @@ func (h *Harness) t10For(spec *device.Spec) (*t10.Compiler, error) {
 	if c, ok := h.t10BySpec[spec.Name]; ok {
 		return c, nil
 	}
-	c, err := t10.New(spec, t10.DefaultOptions())
+	opts := t10.DefaultOptions()
+	opts.SharedCache = h.planCache
+	c, err := t10.New(spec, opts)
 	if err != nil {
 		return nil, err
 	}
 	h.t10BySpec[spec.Name] = c
 	return c, nil
 }
+
+// CacheStats snapshots the shared plan cache counters.
+func (h *Harness) CacheStats() plancache.Stats { return h.planCache.Stats() }
 
 // batches returns the evaluated batch sizes for one model, trimmed in
 // quick mode.

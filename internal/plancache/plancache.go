@@ -1,0 +1,292 @@
+// Package plancache is the content-addressed plan cache behind T10's
+// compilation pipeline. Search results are keyed by a fingerprint of
+// everything that determines them — operator expression, shapes, dtype,
+// device configuration and search constraints — so identical searches
+// are answered from cache regardless of which model, compiler instance
+// or process asked first.
+//
+// The cache has two layers:
+//
+//   - a sharded in-memory LRU holding decoded values, safe for
+//     concurrent use from the compile worker pool, and
+//   - an optional on-disk blob store (one file per key under Dir), so
+//     repeated t10c/t10serve invocations skip the Pareto search
+//     entirely.
+//
+// The package stores opaque values ([]byte on disk, any in memory);
+// serialization belongs to the caller, which knows how to rebuild
+// plans deterministically from compact records.
+package plancache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a content hash identifying one cached search.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex (also the on-disk filename).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Fingerprint hashes the parts into a Key. Parts are length-prefixed,
+// so ("ab","c") and ("a","bc") produce different keys.
+func Fingerprint(parts ...string) Key {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Options configures a Cache.
+type Options struct {
+	// MaxEntries caps the total in-memory entries across all shards;
+	// 0 means DefaultMaxEntries.
+	MaxEntries int
+
+	// Shards is the number of LRU shards; 0 means DefaultShards.
+	Shards int
+
+	// Dir, when non-empty, enables the on-disk layer. The directory is
+	// created on first use.
+	Dir string
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxEntries = 4096
+	DefaultShards     = 16
+)
+
+// Stats is a point-in-time snapshot of cache activity. Hit/miss counts
+// cover the in-memory layer; the Disk* counts cover the blob store.
+type Stats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+
+	DiskHits   int64 `json:"disk_hits"`
+	DiskMisses int64 `json:"disk_misses"`
+	DiskWrites int64 `json:"disk_writes"`
+	DiskErrors int64 `json:"disk_errors"`
+}
+
+// Cache is a sharded LRU with an optional disk layer. All methods are
+// safe for concurrent use.
+type Cache struct {
+	shards []shard
+	dir    string
+
+	hits, misses, evictions atomic.Int64
+	diskHits, diskMisses    atomic.Int64
+	diskWrites, diskErrors  atomic.Int64
+	dirOnce                 sync.Once
+	dirErr                  error
+}
+
+type entry struct {
+	key        Key
+	val        any
+	prev, next *entry // LRU ring: head.next is most recent
+}
+
+type shard struct {
+	mu   sync.Mutex
+	m    map[Key]*entry
+	head entry // sentinel of the doubly-linked LRU ring
+	cap  int
+}
+
+// New builds a Cache.
+func New(opts Options) *Cache {
+	n := opts.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	max := opts.MaxEntries
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	perShard := (max + n - 1) / n
+	c := &Cache{shards: make([]shard, n), dir: opts.Dir}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.m = make(map[Key]*entry)
+		s.cap = perShard
+		s.head.prev, s.head.next = &s.head, &s.head
+	}
+	return c
+}
+
+func (c *Cache) shardFor(k Key) *shard {
+	// the key is a cryptographic hash; any byte picks a uniform shard
+	return &c.shards[int(k[0])%len(c.shards)]
+}
+
+// Get returns the in-memory value for the key and refreshes its
+// recency.
+func (c *Cache) Get(k Key) (any, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.m[k]
+	var v any
+	if ok {
+		// copy under the lock: a concurrent Put may refresh e.val
+		v = e.val
+		s.moveToFront(e)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put inserts (or refreshes) an in-memory entry, evicting the least
+// recently used entry of its shard when full.
+func (c *Cache) Put(k Key, v any) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e, ok := s.m[k]; ok {
+		e.val = v
+		s.moveToFront(e)
+		s.mu.Unlock()
+		return
+	}
+	e := &entry{key: k, val: v}
+	s.m[k] = e
+	s.insertFront(e)
+	var evicted bool
+	if len(s.m) > s.cap {
+		last := s.head.prev
+		s.unlink(last)
+		delete(s.m, last.key)
+		evicted = true
+	}
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Entries:    c.Len(),
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		DiskHits:   c.diskHits.Load(),
+		DiskMisses: c.diskMisses.Load(),
+		DiskWrites: c.diskWrites.Load(),
+		DiskErrors: c.diskErrors.Load(),
+	}
+}
+
+// DiskEnabled reports whether the cache has an on-disk layer.
+func (c *Cache) DiskEnabled() bool { return c.dir != "" }
+
+// GetBlob reads the on-disk blob for the key. Returns false when the
+// disk layer is disabled, the entry is absent, or the read fails.
+func (c *Cache) GetBlob(k Key) ([]byte, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(c.blobPath(k))
+	if err != nil {
+		c.diskMisses.Add(1)
+		return nil, false
+	}
+	c.diskHits.Add(1)
+	return b, true
+}
+
+// PutBlob writes the blob for the key atomically (temp file + rename),
+// so concurrent writers and readers never observe a partial entry.
+// A disabled disk layer makes it a no-op.
+func (c *Cache) PutBlob(k Key, b []byte) error {
+	if c.dir == "" {
+		return nil
+	}
+	c.dirOnce.Do(func() { c.dirErr = os.MkdirAll(c.dir, 0o755) })
+	if c.dirErr != nil {
+		c.diskErrors.Add(1)
+		return c.dirErr
+	}
+	tmp, err := os.CreateTemp(c.dir, "plan-*.tmp")
+	if err != nil {
+		c.diskErrors.Add(1)
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.diskErrors.Add(1)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		c.diskErrors.Add(1)
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.blobPath(k)); err != nil {
+		os.Remove(tmp.Name())
+		c.diskErrors.Add(1)
+		return err
+	}
+	c.diskWrites.Add(1)
+	return nil
+}
+
+func (c *Cache) blobPath(k Key) string {
+	return filepath.Join(c.dir, k.String()+".json")
+}
+
+// --- intrusive LRU ring (callers hold the shard lock) ---
+
+func (s *shard) insertFront(e *entry) {
+	e.prev = &s.head
+	e.next = s.head.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (s *shard) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) moveToFront(e *entry) {
+	if s.head.next == e {
+		return
+	}
+	s.unlink(e)
+	s.insertFront(e)
+}

@@ -1,0 +1,163 @@
+package plancache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := Fingerprint("device", "constraints", "op|m:1024|n:1024")
+	b := Fingerprint("device", "constraints", "op|m:1024|n:1024")
+	if a != b {
+		t.Fatal("identical parts must fingerprint identically")
+	}
+}
+
+func TestFingerprintDistinguishesParts(t *testing.T) {
+	base := Fingerprint("dev", "cons", "matmul|1024x1024x4096|fp16")
+	variants := []Key{
+		Fingerprint("dev2", "cons", "matmul|1024x1024x4096|fp16"),    // device
+		Fingerprint("dev", "cons2", "matmul|1024x1024x4096|fp16"),    // constraints
+		Fingerprint("dev", "cons", "matmul|1024x1024x8192|fp16"),     // shape
+		Fingerprint("dev", "cons", "matmul|1024x1024x4096|fp32"),     // dtype
+		Fingerprint("dev", "cons", "matmul|1024x1024x4096|fp16 "),    // trailing byte
+		Fingerprint("dev", "consmatmul", "|1024x1024x4096|fp16"),     // boundary shift
+		Fingerprint("dev", "cons", "matmul|1024x1024x4096|fp16", ""), // extra empty part
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base key", i)
+		}
+	}
+}
+
+func TestGetPutAndStats(t *testing.T) {
+	c := New(Options{})
+	k := Fingerprint("a")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.Put(k, "v1")
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "v1" {
+		t.Fatalf("got %v %v, want v1", v, ok)
+	}
+	c.Put(k, "v2") // refresh overwrites
+	if v, _ := c.Get(k); v.(string) != "v2" {
+		t.Fatalf("refresh did not overwrite: %v", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss / 1 entry", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// one shard so recency is globally ordered
+	c := New(Options{Shards: 1, MaxEntries: 3})
+	keys := make([]Key, 4)
+	for i := range keys {
+		keys[i] = Fingerprint(fmt.Sprintf("k%d", i))
+	}
+	c.Put(keys[0], 0)
+	c.Put(keys[1], 1)
+	c.Put(keys[2], 2)
+	c.Get(keys[0]) // refresh 0; 1 becomes least recent
+	c.Put(keys[3], 3)
+	if _, ok := c.Get(keys[1]); ok {
+		t.Error("least-recently-used entry survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(keys[i]); !ok {
+			t.Errorf("entry %d evicted unexpectedly", i)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Errorf("stats = %+v, want 1 eviction / 3 entries", st)
+	}
+}
+
+func TestDiskRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	k := Fingerprint("op")
+	blob := []byte(`{"pareto":[{"fop":[16,1,32]}]}`)
+
+	c := New(Options{Dir: dir})
+	if _, ok := c.GetBlob(k); ok {
+		t.Fatal("unexpected disk hit before write")
+	}
+	if err := c.PutBlob(k, blob); err != nil {
+		t.Fatal(err)
+	}
+
+	// a fresh cache over the same dir (a new process) sees the entry
+	c2 := New(Options{Dir: dir})
+	got, ok := c2.GetBlob(k)
+	if !ok || string(got) != string(blob) {
+		t.Fatalf("disk roundtrip failed: %q %v", got, ok)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Errorf("stats = %+v, want 1 disk hit", st)
+	}
+	// no stray temp files
+	left, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(left) != 0 {
+		t.Errorf("temp files left behind: %v", left)
+	}
+}
+
+func TestDiskDisabled(t *testing.T) {
+	c := New(Options{})
+	k := Fingerprint("op")
+	if err := c.PutBlob(k, []byte("x")); err != nil {
+		t.Fatalf("PutBlob without a dir must be a no-op, got %v", err)
+	}
+	if _, ok := c.GetBlob(k); ok {
+		t.Fatal("GetBlob without a dir must miss")
+	}
+	if c.DiskEnabled() {
+		t.Fatal("DiskEnabled without a dir")
+	}
+}
+
+func TestPutBlobUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores file permissions")
+	}
+	parent := t.TempDir()
+	if err := os.Chmod(parent, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Options{Dir: filepath.Join(parent, "cache")})
+	if err := c.PutBlob(Fingerprint("op"), []byte("x")); err == nil {
+		t.Fatal("want error for unwritable cache dir")
+	}
+	if st := c.Stats(); st.DiskErrors == 0 {
+		t.Error("disk error not counted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(Options{MaxEntries: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Fingerprint(fmt.Sprintf("k%d", i%97))
+				if v, ok := c.Get(k); ok {
+					if v.(int) != i%97 {
+						t.Errorf("wrong value for key %d: %v", i%97, v)
+						return
+					}
+				}
+				c.Put(k, i%97)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

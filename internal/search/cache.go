@@ -1,0 +1,139 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/plancache"
+)
+
+// resultFormat versions the on-disk record layout; bump it whenever the
+// encoding (or the meaning of a cached plan) changes, and stale entries
+// simply stop matching.
+const resultFormat = 1
+
+// fingerprint derives the content-addressed cache key for one operator
+// search. It covers everything the search outcome depends on: the
+// device, the constraints, the plan-construction config, whether all
+// candidates are retained, whether a custom cost function overrides the
+// fitted model for this operator (keyed by name — re-registering a
+// different function under the same name is the caller's hazard), and
+// the operator's canonical shape signature.
+func (s *Searcher) fingerprint(e *expr.Expr) plancache.Key {
+	custom := ""
+	if s.CM.HasCustom(e.Name) {
+		custom = e.Name
+	}
+	return plancache.Fingerprint(
+		fmt.Sprintf("t10-plan-v%d", resultFormat),
+		fmt.Sprintf("%#v", *s.Spec),
+		fmt.Sprintf("cons|par=%g|pad=%g|ft=%d", s.Cons.ParallelismMin, s.Cons.PaddingMin, s.Cons.MaxFtCombos),
+		fmt.Sprintf("cfg|shiftbuf=%d", s.Cfg.ShiftBufBytes),
+		fmt.Sprintf("keepall=%t", s.KeepAll),
+		"custom="+custom,
+		e.Signature(),
+	)
+}
+
+// candidateRecord is the portable form of one priced plan: just the
+// partition decisions and the estimate. Plans rebuild deterministically
+// from (expr, Fop, fts) via core.NewPlan, so nothing derived is stored.
+type candidateRecord struct {
+	Fop []int         `json:"fop"`
+	Fts [][]int       `json:"fts"`
+	Est core.Estimate `json:"est"`
+}
+
+// resultRecord is the portable form of a Result.
+type resultRecord struct {
+	Format    int               `json:"format"`
+	Op        string            `json:"op"`
+	Pareto    []candidateRecord `json:"pareto"`
+	All       []candidateRecord `json:"all,omitempty"`
+	Complete  string            `json:"complete"` // big.Int, decimal
+	Filtered  int               `json:"filtered"`
+	Optimized int               `json:"optimized"`
+	ElapsedNs int64             `json:"elapsed_ns"` // original search cost
+}
+
+func toRecord(c *Candidate) candidateRecord {
+	fts := make([][]int, len(c.Plan.Tensors))
+	for ti := range c.Plan.Tensors {
+		fts[ti] = c.Plan.Tensors[ti].Ft
+	}
+	return candidateRecord{Fop: c.Plan.Fop, Fts: fts, Est: c.Est}
+}
+
+// encodeResult serializes a Result for the disk layer.
+func encodeResult(r *Result) ([]byte, error) {
+	rec := resultRecord{
+		Format:    resultFormat,
+		Op:        r.Op,
+		Filtered:  r.Spaces.Filtered,
+		Optimized: r.Spaces.Optimized,
+		ElapsedNs: r.Elapsed.Nanoseconds(),
+	}
+	if r.Spaces.Complete != nil {
+		rec.Complete = r.Spaces.Complete.String()
+	}
+	rec.Pareto = make([]candidateRecord, len(r.Pareto))
+	for i := range r.Pareto {
+		rec.Pareto[i] = toRecord(&r.Pareto[i])
+	}
+	if len(r.All) > 0 {
+		rec.All = make([]candidateRecord, len(r.All))
+		for i := range r.All {
+			rec.All[i] = toRecord(&r.All[i])
+		}
+	}
+	return json.Marshal(rec)
+}
+
+// decodeResult rehydrates a Result from a disk record, rebuilding every
+// plan with core.NewPlan (which re-validates the partition decisions
+// against the expression). Corrupt or stale records return an error and
+// the caller falls back to a fresh search.
+func decodeResult(e *expr.Expr, cfg core.Config, blob []byte) (*Result, error) {
+	var rec resultRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		return nil, err
+	}
+	if rec.Format != resultFormat {
+		return nil, fmt.Errorf("plan record format %d, want %d", rec.Format, resultFormat)
+	}
+	rebuild := func(crs []candidateRecord) ([]Candidate, error) {
+		out := make([]Candidate, len(crs))
+		for i := range crs {
+			p, err := core.NewPlan(e, crs[i].Fop, crs[i].Fts, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("cached plan %d of %s: %w", i, e.Name, err)
+			}
+			out[i] = Candidate{Plan: p, Est: crs[i].Est}
+		}
+		return out, nil
+	}
+	r := &Result{Op: rec.Op, Elapsed: time.Duration(rec.ElapsedNs)}
+	var err error
+	if r.Pareto, err = rebuild(rec.Pareto); err != nil {
+		return nil, err
+	}
+	if len(rec.All) > 0 {
+		if r.All, err = rebuild(rec.All); err != nil {
+			return nil, err
+		}
+	}
+	r.Spaces.Filtered = rec.Filtered
+	r.Spaces.Optimized = rec.Optimized
+	if rec.Complete != "" {
+		n, ok := new(big.Int).SetString(rec.Complete, 10)
+		if !ok {
+			return nil, fmt.Errorf("cached plan of %s: bad complete-space count %q", e.Name, rec.Complete)
+		}
+		r.Spaces.Complete = n
+	}
+	return r, nil
+}

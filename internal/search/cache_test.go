@@ -1,0 +1,229 @@
+package search
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+	"repro/internal/kernel"
+	"repro/internal/plancache"
+)
+
+// samePlans asserts two results selected bit-identical plans.
+func samePlans(t *testing.T, a, b *Result) {
+	t.Helper()
+	if len(a.Pareto) != len(b.Pareto) {
+		t.Fatalf("pareto sizes differ: %d vs %d", len(a.Pareto), len(b.Pareto))
+	}
+	for i := range a.Pareto {
+		pa, pb := a.Pareto[i].Plan, b.Pareto[i].Plan
+		if pa.String() != pb.String() {
+			t.Fatalf("plan %d differs:\n%s\nvs\n%s", i, pa, pb)
+		}
+		ea, eb := a.Pareto[i].Est, b.Pareto[i].Est
+		if ea != eb {
+			t.Fatalf("estimate %d differs: %+v vs %+v", i, ea, eb)
+		}
+	}
+	if a.Spaces.Filtered != b.Spaces.Filtered || a.Spaces.Optimized != b.Spaces.Optimized {
+		t.Fatalf("spaces differ: %+v vs %+v", a.Spaces, b.Spaces)
+	}
+}
+
+func TestFingerprintStableAcrossSearchers(t *testing.T) {
+	e := expr.MatMul("mm", 1024, 1024, 4096, dtype.FP16)
+	k1 := newSearcher().fingerprint(e)
+	k2 := newSearcher().fingerprint(e)
+	if k1 != k2 {
+		t.Fatal("same op on identical searchers must share a fingerprint")
+	}
+}
+
+func TestFingerprintSeparatesConfigurations(t *testing.T) {
+	e := expr.MatMul("mm", 1024, 1024, 4096, dtype.FP16)
+	base := newSearcher()
+
+	shape := newSearcher()
+	if base.fingerprint(e) == shape.fingerprint(expr.MatMul("mm", 1024, 1024, 8192, dtype.FP16)) {
+		t.Error("different shapes share a fingerprint")
+	}
+	if base.fingerprint(e) == shape.fingerprint(expr.MatMul("mm", 1024, 1024, 4096, dtype.FP32)) {
+		t.Error("different dtypes share a fingerprint")
+	}
+
+	cons := newSearcher()
+	cons.Cons.ParallelismMin = 0.5
+	if base.fingerprint(e) == cons.fingerprint(e) {
+		t.Error("different constraints share a fingerprint")
+	}
+
+	cfg := newSearcher()
+	cfg.Cfg.ShiftBufBytes = 16 * 1024
+	if base.fingerprint(e) == cfg.fingerprint(e) {
+		t.Error("different plan configs share a fingerprint")
+	}
+
+	dev := New(device.VIPU(2), testCM(), DefaultConstraints(), core.DefaultConfig())
+	if base.fingerprint(e) == dev.fingerprint(e) {
+		t.Error("different devices share a fingerprint")
+	}
+
+	keep := newSearcher()
+	keep.KeepAll = true
+	if base.fingerprint(e) == keep.fingerprint(e) {
+		t.Error("KeepAll on/off share a fingerprint")
+	}
+
+	custom := newSearcher()
+	custom.CM.RegisterCustom("mm-custom", func(kernel.Task) float64 { return 1 })
+	ec := expr.MatMul("mm-custom", 1024, 1024, 4096, dtype.FP16)
+	if custom.fingerprint(e) == custom.fingerprint(ec) {
+		t.Error("custom-priced op shares a fingerprint with the fitted model")
+	}
+}
+
+func TestCachedResultEqualsFreshSearch(t *testing.T) {
+	e := expr.MatMul("mm", 512, 1024, 2048, dtype.FP16)
+	s := newSearcher()
+	r1, err := s.SearchOp(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.SearchOp(e) // in-memory hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("second search should return the cached result")
+	}
+	fresh, err := newSearcher().SearchOp(e) // independent cold search
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePlans(t, r1, fresh)
+}
+
+func TestDiskCacheRehydratesIdenticalPlans(t *testing.T) {
+	dir := t.TempDir()
+	e := expr.MatMul("mm", 512, 1024, 2048, dtype.FP16)
+
+	s1 := newSearcher()
+	s1.SetCache(plancache.New(plancache.Options{Dir: dir}))
+	cold, err := s1.SearchOp(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s1.Cache().Stats(); st.DiskWrites != 1 {
+		t.Fatalf("stats = %+v, want 1 disk write", st)
+	}
+
+	// a fresh searcher over the same dir answers from disk
+	s2 := newSearcher()
+	s2.SetCache(plancache.New(plancache.Options{Dir: dir}))
+	warm, err := s2.SearchOp(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Cache().Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want 1 disk hit", st)
+	}
+	samePlans(t, cold, warm)
+	if warm.Spaces.Complete == nil || cold.Spaces.Complete.Cmp(warm.Spaces.Complete) != 0 {
+		t.Errorf("complete-space count lost in roundtrip: %v vs %v",
+			cold.Spaces.Complete, warm.Spaces.Complete)
+	}
+}
+
+func TestCorruptDiskEntryFallsBackToSearch(t *testing.T) {
+	dir := t.TempDir()
+	e := expr.MatMul("mm", 256, 512, 512, dtype.FP16)
+
+	s := newSearcher()
+	s.SetCache(plancache.New(plancache.Options{Dir: dir}))
+	key := s.fingerprint(e)
+	if err := s.Cache().PutBlob(key, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.SearchOp(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pareto) == 0 {
+		t.Fatal("no plans after corrupt-entry fallback")
+	}
+	// the fresh search overwrote the corrupt record
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("want 1 cache file, got %v", files)
+	}
+	b, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeResult(e, s.Cfg, b); err != nil {
+		t.Errorf("overwritten record still corrupt: %v", err)
+	}
+}
+
+func TestKeepAllSurvivesDiskRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	e := expr.MatMul("mm", 256, 512, 512, dtype.FP16)
+
+	s1 := newSearcher()
+	s1.KeepAll = true
+	s1.SetCache(plancache.New(plancache.Options{Dir: dir}))
+	cold, err := s1.SearchOp(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.All) == 0 {
+		t.Fatal("KeepAll search retained nothing")
+	}
+	s2 := newSearcher()
+	s2.KeepAll = true
+	s2.SetCache(plancache.New(plancache.Options{Dir: dir}))
+	warm, err := s2.SearchOp(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.All) != len(cold.All) {
+		t.Fatalf("All lost in roundtrip: %d vs %d", len(warm.All), len(cold.All))
+	}
+}
+
+func TestConcurrentIdenticalSearchesDeduplicate(t *testing.T) {
+	s := newSearcher()
+	e := expr.MatMul("mm", 1024, 1024, 1024, dtype.FP16)
+
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]*Result, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.SearchOp(e)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent identical searches returned distinct results")
+		}
+	}
+	// exactly one flight ran: one miss from the first caller's Get, one
+	// Put; the waiters never touched the cache
+	if st := s.Cache().Stats(); st.Entries != 1 {
+		t.Fatalf("stats = %+v, want a single entry", st)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/expr"
 	"repro/internal/mathutil"
+	"repro/internal/plancache"
 )
 
 // Constraints are the user-configurable plan filters of §4.3.1.
@@ -102,7 +103,10 @@ func (r *Result) FastestWithin(memBudget int64) *Candidate {
 }
 
 // Searcher runs intra-operator searches with a shared cost model and a
-// plan cache (identical operators reuse results, as the paper notes).
+// content-addressed plan cache (identical operators reuse results, as
+// the paper notes — within a model, across models, and, with a disk
+// layer, across processes). Concurrent searches for the same key are
+// deduplicated: one flight runs, everyone else waits for its result.
 type Searcher struct {
 	Spec    *device.Spec
 	CM      *costmodel.Set
@@ -110,25 +114,100 @@ type Searcher struct {
 	Cfg     core.Config
 	KeepAll bool
 
-	mu    sync.Mutex
-	cache map[string]*Result
+	cache *plancache.Cache
+
+	mu       sync.Mutex
+	inflight map[plancache.Key]*flight
 }
 
-// New creates a Searcher.
+// flight is one in-progress search other callers can wait on.
+type flight struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// New creates a Searcher with a private in-memory plan cache; use
+// SetCache to share one across searchers or add a disk layer.
 func New(spec *device.Spec, cm *costmodel.Set, cons Constraints, cfg core.Config) *Searcher {
-	return &Searcher{Spec: spec, CM: cm, Cons: cons, Cfg: cfg, cache: make(map[string]*Result)}
+	return &Searcher{
+		Spec: spec, CM: cm, Cons: cons, Cfg: cfg,
+		cache:    plancache.New(plancache.Options{}),
+		inflight: make(map[plancache.Key]*flight),
+	}
 }
 
-// SearchOp finds the Pareto-optimal plans for one operator.
-func (s *Searcher) SearchOp(e *expr.Expr) (*Result, error) {
-	key := e.Signature()
-	s.mu.Lock()
-	if r, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return r, nil
+// SetCache replaces the searcher's plan cache. Fingerprints cover the
+// device, constraints and config, so one cache is safe to share across
+// arbitrary searchers.
+func (s *Searcher) SetCache(c *plancache.Cache) {
+	if c != nil {
+		s.cache = c
 	}
+}
+
+// Cache returns the searcher's plan cache (for stats endpoints).
+func (s *Searcher) Cache() *plancache.Cache { return s.cache }
+
+// SearchOp finds the Pareto-optimal plans for one operator: from the
+// in-memory cache, a concurrent in-flight search, the disk layer, or a
+// fresh enumeration, in that order. Errors are shared with concurrent
+// waiters but never cached.
+func (s *Searcher) SearchOp(e *expr.Expr) (*Result, error) {
+	key := s.fingerprint(e)
+	if v, ok := s.cache.Get(key); ok {
+		return v.(*Result), nil
+	}
+
+	s.mu.Lock()
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
 	s.mu.Unlock()
 
+	f.res, f.err = s.lookupOrSearch(key, e)
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(f.done)
+	return f.res, f.err
+}
+
+// lookupOrSearch tries the disk layer, then runs the enumeration, and
+// populates both cache layers on the way out.
+func (s *Searcher) lookupOrSearch(key plancache.Key, e *expr.Expr) (*Result, error) {
+	if blob, ok := s.cache.GetBlob(key); ok {
+		if r, err := decodeResult(e, s.Cfg, blob); err == nil {
+			s.cache.Put(key, r)
+			return r, nil
+		}
+		// corrupt or stale record: fall through to a fresh search,
+		// which overwrites it
+	}
+	r, err := s.searchOp(e)
+	if err != nil {
+		return nil, err
+	}
+	if s.fingerprint(e) != key {
+		// a custom cost function was (un)registered for this operator
+		// mid-search, so the result was priced by a mix of models —
+		// return it to this caller but never cache it under either key
+		return r, nil
+	}
+	s.cache.Put(key, r)
+	if blob, err := encodeResult(r); err == nil {
+		_ = s.cache.PutBlob(key, blob) // best effort; stats count failures
+	}
+	return r, nil
+}
+
+// searchOp runs the actual enumeration (§4.3.1), bypassing every cache
+// layer.
+func (s *Searcher) searchOp(e *expr.Expr) (*Result, error) {
 	start := time.Now()
 	r := &Result{Op: e.Name}
 
@@ -163,10 +242,6 @@ func (s *Searcher) SearchOp(e *expr.Expr) (*Result, error) {
 		r.All = all
 	}
 	r.Elapsed = time.Since(start)
-
-	s.mu.Lock()
-	s.cache[key] = r
-	s.mu.Unlock()
 	return r, nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/codegen"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/interop"
 	"repro/internal/perf"
+	"repro/internal/plancache"
 	"repro/internal/search"
 	"repro/internal/sim"
 )
@@ -47,6 +49,28 @@ type Options struct {
 	// KeepAllCandidates retains every priced plan per operator (the
 	// scatter data of Fig 17); costs memory.
 	KeepAllCandidates bool
+
+	// Workers bounds the intra-operator search pool CompileModel fans
+	// operators out to; 0 means runtime.GOMAXPROCS(0). Workers=1 is the
+	// sequential reference path — plan selection is bit-identical at
+	// every width.
+	Workers int
+
+	// CacheDir enables the on-disk plan cache layer: searches missing
+	// in memory are answered from (and written to) content-addressed
+	// records under this directory, so repeated t10c/t10serve
+	// invocations skip the Pareto search entirely.
+	CacheDir string
+
+	// CacheEntries caps the in-memory plan cache; 0 means the
+	// plancache default (4096 entries).
+	CacheEntries int
+
+	// SharedCache, when non-nil, overrides CacheDir/CacheEntries and
+	// makes this compiler share a plan cache with others. Cache keys
+	// cover the device, constraints and plan config, so sharing is
+	// always safe.
+	SharedCache *plancache.Cache
 }
 
 // DefaultOptions returns the paper's defaults.
@@ -78,8 +102,22 @@ func New(spec *device.Spec, opts Options) (*Compiler, error) {
 	}
 	s := search.New(spec, cm, opts.Constraints, opts.PlanConfig)
 	s.KeepAll = opts.KeepAllCandidates
+	if opts.SharedCache != nil {
+		s.SetCache(opts.SharedCache)
+	} else if opts.CacheDir != "" || opts.CacheEntries != 0 {
+		s.SetCache(plancache.New(plancache.Options{
+			MaxEntries: opts.CacheEntries,
+			Dir:        opts.CacheDir,
+		}))
+	}
 	return &Compiler{Spec: spec, CM: cm, Opts: opts, searcher: s}, nil
 }
+
+// PlanCache returns the compiler's plan cache.
+func (c *Compiler) PlanCache() *plancache.Cache { return c.searcher.Cache() }
+
+// CacheStats snapshots the plan cache counters (the /cachestats data).
+func (c *Compiler) CacheStats() plancache.Stats { return c.searcher.Cache().Stats() }
 
 // RegisterCostFunc installs a custom cost function for the named
 // operator (the §4.3.1 user interface for custom kernels).
@@ -107,44 +145,66 @@ type Executable struct {
 	CompileTime time.Duration
 }
 
-// CompileModel searches every operator (in parallel across unique
-// shapes), reconciles memory across operators and returns the
-// executable. Configurations that cannot fit on-chip return an
-// *interop.InfeasibleError.
+// CompileModel searches every operator, reconciles memory across
+// operators and returns the executable. Configurations that cannot fit
+// on-chip return an *interop.InfeasibleError.
+//
+// The intra-operator stage is concurrent: unique operator shapes
+// (deduplicated up front, with in-flight deduplication in the searcher
+// backstopping concurrent compiles) fan out to a pool of Opts.Workers
+// goroutines, and results land in the content-addressed plan cache.
+// The inter-operator reconciliation (§4.3.2) stays sequential and
+// deterministic, so plan selection is bit-identical at every pool
+// width.
 func (c *Compiler) CompileModel(m *graph.Model) (*Executable, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 
-	// search unique operator shapes in parallel
-	type job struct{ e *expr.Expr }
-	unique := make(map[string]*expr.Expr)
+	// warm the plan cache: unique operator shapes in first-appearance
+	// order (deterministic), searched by a bounded worker pool
+	var uniq []*expr.Expr
+	seen := make(map[string]bool, len(m.Ops))
 	for i := range m.Ops {
-		unique[m.Ops[i].Expr.Signature()] = m.Ops[i].Expr
+		sig := m.Ops[i].Expr.Signature()
+		if !seen[sig] {
+			seen[sig] = true
+			uniq = append(uniq, m.Ops[i].Expr)
+		}
 	}
-	jobs := make(chan job, len(unique))
-	for _, e := range unique {
-		jobs <- job{e: e}
+	workers := c.Opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	close(jobs)
+	if workers > len(uniq) {
+		workers = len(uniq)
+	}
+	errs := make([]error, len(uniq))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	errs := make(chan error, len(unique))
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				if _, err := c.searcher.SearchOp(j.e); err != nil {
-					errs <- fmt.Errorf("op %s: %w", j.e.Name, err)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(uniq) {
+					return
+				}
+				if _, err := c.searcher.SearchOp(uniq[i]); err != nil {
+					errs[i] = fmt.Errorf("op %s: %w", uniq[i].Name, err)
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
-		return nil, err
+	// report the first failure in model order, independent of pool
+	// scheduling
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	extraLive := m.ExtraLiveBytes()
