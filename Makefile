@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench lint fmt
+.PHONY: build test bench bench-race bench-search lint fmt
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,17 @@ test:
 # experiment still execute, not a measurement.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Exercise the parallel, pruned cold-search path under the race detector
+# (one iteration — correctness smoke, not a measurement).
+bench-race:
+	$(GO) test -run='^$$' -bench='BenchmarkCompileOp|BenchmarkColdSearch' -benchtime=1x -race ./...
+
+# Real measurement of the cold-search variants; updates BENCH_search.json
+# so the perf trajectory is tracked across PRs.
+bench-search:
+	BENCH_SEARCH_JSON=$(CURDIR)/BENCH_search.json \
+		$(GO) test -run='^$$' -bench=BenchmarkColdSearch -benchtime=2s ./internal/search
 
 lint:
 	$(GO) vet ./...

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/costmodel"
+	"repro/internal/device"
 	"repro/internal/expr"
 	"repro/internal/kernel"
 	"repro/internal/mathutil"
@@ -27,8 +28,13 @@ type Estimate struct {
 // input: spatial axes it contains become M (output rows), remaining
 // spatial axes become N (output columns), reduce axes become K.
 func (p *Plan) KernelTask() kernel.Task {
-	e := p.Expr
-	ext := p.SubTaskExtents()
+	return taskFor(p.Expr, p.SubTaskExtents(), p.StepsPerAxis)
+}
+
+// taskFor derives the sub-task descriptor from the per-axis sub-task
+// extents and step counts alone, so both the full Plan and the cheap
+// PlanSketch price the identical task.
+func taskFor(e *expr.Expr, ext []int, stepsPerAxis []int) kernel.Task {
 	t := kernel.Task{Kind: e.Kind, KH: 1, KW: 1, FLOPsPerElem: e.FLOPsPerPoint}
 
 	first := e.Inputs[0]
@@ -60,7 +66,7 @@ func (p *Plan) KernelTask() kernel.Task {
 				}
 			}
 		case expr.Gather:
-			gatherSteps = p.StepsPerAxis[a]
+			gatherSteps = stepsPerAxis[a]
 		}
 	}
 	t.M, t.N, t.K = m, n, k
@@ -79,18 +85,18 @@ func (p *Plan) KernelTask() kernel.Task {
 
 	// per-step operand traffic: the tile each tensor contributes
 	for _, in := range e.Inputs {
-		t.InBytes += p.tileBytes(in, ext)
+		t.InBytes += tileBytesFor(e, in, ext)
 	}
-	t.OutBytes = p.tileBytes(e.Output, ext)
+	t.OutBytes = tileBytesFor(e, e.Output, ext)
 	return t
 }
 
-// tileBytes returns the bytes of tensor tr touched by one sub-task with
-// the given per-axis extents.
-func (p *Plan) tileBytes(tr expr.TensorRef, ext []int) int64 {
+// tileBytesFor returns the bytes of tensor tr touched by one sub-task
+// with the given per-axis extents.
+func tileBytesFor(e *expr.Expr, tr expr.TensorRef, ext []int) int64 {
 	n := int64(1)
 	for _, d := range tr.Dims {
-		n *= int64(p.Expr.DimSize(d, ext))
+		n *= int64(e.DimSize(d, ext))
 	}
 	return n * elemSize(tr.Elem)
 }
@@ -118,14 +124,20 @@ func (p *Plan) shiftIters(a int) int {
 
 // Estimate prices the plan with the fitted cost model.
 func (p *Plan) Estimate(cm *costmodel.Set) Estimate {
-	spec := cm.Spec
+	return p.EstimateWith(cm.Spec, cm.Resolve(p.Expr.Name, p.Expr.Kind))
+}
+
+// EstimateWith prices the plan with a pre-resolved predictor, avoiding
+// the per-call custom-function lookup — the search prices thousands of
+// candidates per operator against one handle.
+func (p *Plan) EstimateWith(spec *device.Spec, pred costmodel.Predictor) Estimate {
 	est := Estimate{
 		Steps:             p.TotalSteps,
 		MemPerCore:        p.MemPerCore(),
 		ShiftBytesPerCore: p.ShiftBytesPerCore(),
 	}
 	task := p.KernelTask()
-	perStep := cm.PredictTask(p.Expr.Name, task)
+	perStep := pred(task)
 	est.ComputeNs = float64(p.TotalSteps) * perStep
 
 	syncs := float64(p.TotalSteps) // one per compute phase

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/device"
+	"repro/internal/expr"
+	"repro/internal/mathutil"
+)
+
+// PlanSketch is the cheap "sketch" phase of candidate evaluation: from
+// (Fop, fts) alone it decides plan validity, computes the padded
+// sub-operator extents and the exact per-core memory footprint, and
+// derives an admissible lower bound on Estimate.TotalNs — all without
+// building rotation state (rTensors, loop order, grid order) or
+// allocating per candidate.
+//
+// The search uses it for bound-based pruning: a candidate whose exact
+// memory and time lower bound are already dominated by the running
+// Pareto frontier can never enter the frontier, so core.NewPlan and the
+// full Estimate are skipped for it. Correctness contract (enforced by
+// property tests):
+//
+//   - Compute returns true exactly when NewPlan would succeed;
+//   - MemPerCore equals Plan.MemPerCore();
+//   - LowerBoundNs never exceeds Plan.EstimateWith(...).TotalNs.
+//
+// A sketch holds reusable scratch buffers; one instance serves one
+// goroutine, recomputed per candidate.
+type PlanSketch struct {
+	e        *expr.Expr
+	tensors  []expr.TensorRef
+	shiftBuf int64
+
+	// Results of the last successful Compute.
+	Cores      int
+	TotalSteps int
+	MemPerCore int64
+	SubLen     []int // padded per-axis sub-operator extent
+
+	// Last Compute inputs, retained for LowerBoundNs.
+	fop []int
+	fts [][]int
+
+	// Scratch, reused between candidates.
+	axisLCM   []int
+	axisMax   []int
+	rpAxis    []int
+	steps     []int
+	ext       []int
+	partBytes []int64
+	shareP    []int
+	missing   [][]int
+	rotBuf    []int
+	anyRot    bool
+}
+
+// NewPlanSketch sizes a sketch for one operator. cfg follows NewPlan's
+// normalization of the shift buffer size.
+func NewPlanSketch(e *expr.Expr, cfg Config) *PlanSketch {
+	if cfg.ShiftBufBytes <= 0 {
+		cfg.ShiftBufBytes = DefaultConfig().ShiftBufBytes
+	}
+	tensors := e.Tensors()
+	na, nt := len(e.Axes), len(tensors)
+	ps := &PlanSketch{
+		e: e, tensors: tensors, shiftBuf: int64(cfg.ShiftBufBytes),
+		SubLen:  make([]int, na),
+		axisLCM: make([]int, na),
+		axisMax: make([]int, na),
+		rpAxis:  make([]int, na),
+		steps:   make([]int, na),
+		ext:     make([]int, na),
+
+		partBytes: make([]int64, nt),
+		shareP:    make([]int, nt),
+		missing:   make([][]int, nt),
+		rotBuf:    make([]int, 0, 2*nt),
+	}
+	backing := make([]int, nt*na)
+	for ti := range ps.missing {
+		ps.missing[ti] = backing[ti*na : ti*na : (ti+1)*na]
+	}
+	return ps
+}
+
+// Compute evaluates one candidate, mirroring every NewPlan validity
+// check. It returns false exactly when NewPlan would return an error; on
+// true, Cores, TotalSteps, MemPerCore and SubLen are valid until the
+// next call. fop and fts are borrowed, not copied.
+func (ps *PlanSketch) Compute(fop []int, fts [][]int) bool {
+	e := ps.e
+	if len(fop) != len(e.Axes) {
+		return false
+	}
+	ps.fop, ps.fts = fop, fts
+	ps.Cores = 1
+	for a, f := range fop {
+		if f < 1 || f > e.Axes[a].Size {
+			return false
+		}
+		ps.Cores *= f
+	}
+	if fts != nil && len(fts) != len(ps.tensors) {
+		return false
+	}
+	for a := range e.Axes {
+		ps.axisLCM[a] = 1
+		ps.axisMax[a] = 1
+	}
+	ps.anyRot = false
+
+	// First pass: sharing degrees, temporal-factor validity, per-axis
+	// factor aggregation (the LCM/max NewPlan derives from axisFts).
+	for ti, tr := range ps.tensors {
+		ps.missing[ti] = ps.missing[ti][:0]
+		shareP := 1
+		for a := range e.Axes {
+			if fop[a] > 1 && !expr.ContainsAxis(tr, a) {
+				ps.missing[ti] = append(ps.missing[ti], a)
+				shareP *= fop[a]
+			}
+		}
+		ps.shareP[ti] = shareP
+
+		ftProd := 1
+		if fts != nil && fts[ti] != nil {
+			ft := fts[ti]
+			if len(ft) != len(tr.Dims) {
+				return false
+			}
+			for d, f := range ft {
+				if f < 1 {
+					return false
+				}
+				if f == 1 {
+					continue
+				}
+				dim := tr.Dims[d]
+				if dim.Compound() || dim.Terms[0].Stride != 1 {
+					return false
+				}
+				if ti == len(ps.tensors)-1 {
+					return false // output never takes temporal factors
+				}
+				ftProd *= f
+				a := dim.Terms[0].Axis
+				ps.axisLCM[a] = mathutil.LCM(ps.axisLCM[a], f)
+				ps.axisMax[a] = mathutil.Max(ps.axisMax[a], f)
+				ps.anyRot = true
+			}
+		}
+		if ftProd > 1 && shareP%ftProd != 0 {
+			return false
+		}
+	}
+
+	// Alignment: tensors rotating on one axis need disjoint sharing
+	// groups (Fig 7), exactly as NewPlan checks — one entry per rotating
+	// dim, so a tensor rotating twice on an axis conflicts with itself.
+	for a := range e.Axes {
+		if ps.axisMax[a] == 1 {
+			continue
+		}
+		ps.rotBuf = ps.rotBuf[:0]
+		for ti, tr := range ps.tensors {
+			ft := ftOf(fts, ti)
+			if ft == nil {
+				continue
+			}
+			for d, f := range ft {
+				if f > 1 && tr.Dims[d].Terms[0].Axis == a {
+					ps.rotBuf = append(ps.rotBuf, ti)
+				}
+			}
+		}
+		for i := 0; i < len(ps.rotBuf); i++ {
+			for j := i + 1; j < len(ps.rotBuf); j++ {
+				if sharesAxis(ps.missing[ps.rotBuf[i]], ps.missing[ps.rotBuf[j]]) {
+					return false
+				}
+			}
+		}
+	}
+
+	// Per-axis padding and pace.
+	ps.TotalSteps = 1
+	for a := range e.Axes {
+		raw := mathutil.CeilDiv(e.Axes[a].Size, fop[a])
+		ps.SubLen[a] = mathutil.RoundUp(raw, ps.axisLCM[a])
+		ps.rpAxis[a] = ps.SubLen[a] / ps.axisMax[a]
+		ps.steps[a] = ps.axisMax[a]
+		ps.TotalSteps *= ps.steps[a]
+	}
+
+	// Second pass: per-tensor partition bytes (= Plan.Tensors[ti].PartBytes()).
+	ps.MemPerCore = 0
+	for ti, tr := range ps.tensors {
+		ft := ftOf(fts, ti)
+		elems := int64(1)
+		for d, dim := range tr.Dims {
+			sub := e.DimSize(dim, ps.SubLen)
+			f := 1
+			if ft != nil {
+				f = ft[d]
+			}
+			if sub%f != 0 {
+				return false
+			}
+			part := sub / f
+			if f > 1 {
+				a := dim.Terms[0].Axis
+				if ps.rpAxis[a] > part {
+					return false
+				}
+			}
+			elems *= int64(part)
+		}
+		ps.partBytes[ti] = elems * elemSize(tr.Elem)
+		ps.MemPerCore += ps.partBytes[ti]
+	}
+	if ps.anyRot {
+		ps.MemPerCore += ps.shiftBuf
+	}
+	return true
+}
+
+// LowerBoundNs returns an admissible lower bound on the full estimate of
+// the last computed candidate: the exact compute floor (the cost model's
+// per-step prediction times the step count), the minimum shift traffic
+// (every iterated axis advances at least StepsPerAxis times, each with
+// at least one exchange startup), the exact all-reduce term, and the
+// minimum sync count. Every term is computed with the same float
+// operations as EstimateWith and bounded from below term-by-term, then
+// scaled down by 1e-9 to absorb summation-order rounding — so the bound
+// never exceeds the value EstimateWith would produce.
+func (ps *PlanSketch) LowerBoundNs(spec *device.Spec, pred costmodel.Predictor) float64 {
+	e := ps.e
+	for a := range e.Axes {
+		if ps.steps[a] > 1 {
+			ps.ext[a] = ps.rpAxis[a]
+		} else {
+			ps.ext[a] = ps.SubLen[a]
+		}
+	}
+	total := float64(ps.TotalSteps) * pred(taskFor(e, ps.ext, ps.steps))
+
+	bw := spec.LinkBytesPerNs()
+	for a := range e.Axes {
+		if ps.steps[a] <= 1 {
+			continue
+		}
+		var tile int64
+		for ti, tr := range ps.tensors {
+			ft := ftOf(ps.fts, ti)
+			if ft == nil {
+				continue
+			}
+			for d, f := range ft {
+				if f <= 1 || tr.Dims[d].Terms[0].Axis != a {
+					continue
+				}
+				// = rt.PartBytes() * RPAxis[a] / rt.PartShape[d]
+				tile += ps.partBytes[ti] * int64(ps.rpAxis[a]) / int64(ps.SubLen[a]/f)
+			}
+		}
+		total += float64(ps.steps[a]) * (float64(tile)/bw + spec.ExchangeStartupNs)
+	}
+
+	syncs := float64(ps.TotalSteps)
+	if r := ps.shareP[len(ps.tensors)-1]; r > 1 {
+		// exact: ReduceShare and the output sub-tensor size depend only
+		// on Fop and the padded extents
+		out := ps.tensors[len(ps.tensors)-1]
+		subBytes := int64(1)
+		for _, dim := range out.Dims {
+			subBytes *= int64(e.DimSize(dim, ps.SubLen))
+		}
+		subBytes *= elemSize(out.Elem)
+		phases := 2 * (r - 1)
+		bytes := 2 * subBytes * int64(r-1) / int64(r)
+		total += float64(bytes)/bw + float64(phases)*spec.ExchangeStartupNs
+		syncs += float64(phases)
+	}
+	total += syncs * spec.SyncNs
+	return total * (1 - 1e-9)
+}
+
+// ftOf returns the temporal factors of tensor ti, or nil.
+func ftOf(fts [][]int, ti int) []int {
+	if fts == nil {
+		return nil
+	}
+	return fts[ti]
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dtype"
+	"repro/internal/expr"
+)
+
+// randFts draws a temporal-factor assignment that is valid often enough
+// to exercise both outcomes: roughly half the draws hit a NewPlan error
+// (non-divisor products, factors on compound or strided dims, factors on
+// the output).
+func randFts(rng *rand.Rand, e *expr.Expr) [][]int {
+	tensors := e.Tensors()
+	if rng.Intn(8) == 0 {
+		return nil
+	}
+	fts := make([][]int, len(tensors))
+	vals := []int{1, 1, 1, 2, 2, 3, 4, 6, 8}
+	for ti, tr := range tensors {
+		switch rng.Intn(4) {
+		case 0:
+			continue // nil: no temporal factors
+		case 1:
+			if ti == len(tensors)-1 {
+				continue
+			}
+		}
+		ft := make([]int, len(tr.Dims))
+		for d := range ft {
+			ft[d] = vals[rng.Intn(len(vals))]
+		}
+		fts[ti] = ft
+	}
+	return fts
+}
+
+// TestSketchMatchesNewPlan is the pruning-safety contract: over random
+// (Fop, fts) candidates — valid and invalid — the sketch must agree with
+// NewPlan on validity, agree exactly on per-core memory, and never bound
+// above the full estimate.
+func TestSketchMatchesNewPlan(t *testing.T) {
+	cm := newTestCostModel(t)
+	cfg := DefaultConfig()
+	ops := []*expr.Expr{
+		expr.MatMul("mm", 96, 48, 64, dtype.FP16),
+		expr.MatMul("mm-odd", 97, 53, 64, dtype.FP32),
+		expr.Conv2D("conv", 4, 8, 8, 12, 12, 3, 3, 1, dtype.FP16),
+		expr.Conv2D("conv-s2", 2, 8, 8, 12, 12, 3, 3, 2, dtype.FP16),
+		expr.GatherOp("emb", 64, 500, 32, dtype.FP16),
+		expr.ReduceSum("sum", 64, 96, dtype.FP16),
+		expr.Pool2D("pool", 4, 8, 12, 12, 2, 2, 2, dtype.FP16),
+	}
+	rng := rand.New(rand.NewSource(42))
+	valid, invalid := 0, 0
+	for _, e := range ops {
+		ps := NewPlanSketch(e, cfg)
+		pred := cm.Resolve(e.Name, e.Kind)
+		fop := make([]int, len(e.Axes))
+		for iter := 0; iter < 3000; iter++ {
+			for a, ax := range e.Axes {
+				// mostly divisors and small factors, occasionally wild
+				switch rng.Intn(3) {
+				case 0:
+					fop[a] = 1
+				case 1:
+					fop[a] = 1 + rng.Intn(ax.Size)
+				default:
+					fop[a] = []int{1, 2, 3, 4, 8}[rng.Intn(5)]
+				}
+			}
+			fts := randFts(rng, e)
+			ok := ps.Compute(fop, fts)
+			p, err := NewPlan(e, fop, fts, cfg)
+			if ok != (err == nil) {
+				t.Fatalf("%s: sketch ok=%t but NewPlan err=%v (fop=%v fts=%v)",
+					e.Name, ok, err, fop, fts)
+			}
+			if !ok {
+				invalid++
+				continue
+			}
+			valid++
+			if ps.MemPerCore != p.MemPerCore() {
+				t.Fatalf("%s: sketch mem %d != plan mem %d (fop=%v fts=%v)",
+					e.Name, ps.MemPerCore, p.MemPerCore(), fop, fts)
+			}
+			if ps.Cores != p.Cores || ps.TotalSteps != p.TotalSteps {
+				t.Fatalf("%s: sketch cores/steps %d/%d != plan %d/%d",
+					e.Name, ps.Cores, ps.TotalSteps, p.Cores, p.TotalSteps)
+			}
+			if !reflect.DeepEqual(ps.SubLen, p.SubLen) {
+				t.Fatalf("%s: sketch SubLen %v != plan %v (fop=%v fts=%v)",
+					e.Name, ps.SubLen, p.SubLen, fop, fts)
+			}
+			lb := ps.LowerBoundNs(cm.Spec, pred)
+			est := p.EstimateWith(cm.Spec, pred)
+			if lb > est.TotalNs {
+				t.Fatalf("%s: lower bound %g exceeds estimate %g (fop=%v fts=%v)",
+					e.Name, lb, est.TotalNs, fop, fts)
+			}
+		}
+	}
+	if valid < 1000 || invalid < 1000 {
+		t.Fatalf("generator imbalance: %d valid, %d invalid — property undertested", valid, invalid)
+	}
+}
+
+// TestEstimateWithMatchesEstimate pins the pre-resolved-predictor path
+// to the map-lookup path.
+func TestEstimateWithMatchesEstimate(t *testing.T) {
+	cm := newTestCostModel(t)
+	e := expr.MatMul("mm", 128, 64, 64, dtype.FP16)
+	p, err := NewPlan(e, []int{8, 1, 8}, [][]int{{1, 8}, {8, 1}, nil}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Estimate(cm)
+	b := p.EstimateWith(cm.Spec, cm.Resolve(e.Name, e.Kind))
+	if a != b {
+		t.Fatalf("Estimate %+v != EstimateWith %+v", a, b)
+	}
+}

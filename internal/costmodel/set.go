@@ -85,17 +85,31 @@ func (s *Set) HasCustom(opName string) bool {
 // PredictTask estimates the per-core time of a sub-task for the named
 // operator in nanoseconds.
 func (s *Set) PredictTask(opName string, t kernel.Task) float64 {
+	return s.Resolve(opName, t.Kind)(t)
+}
+
+// Predictor is a pre-resolved per-operator cost function: the custom
+// registration (if any) or the fitted model for the operator's kind,
+// bound once so the search's hot loop pays no map lookup or lock per
+// candidate.
+type Predictor func(t kernel.Task) float64
+
+// Resolve returns the Predictor for the named operator of the given
+// kind. The resolution is a snapshot: a custom function (un)registered
+// after Resolve is not observed by the returned handle — the searcher's
+// fingerprint recheck already treats such mid-search swaps as uncacheable.
+func (s *Set) Resolve(opName string, kind expr.OpKind) Predictor {
 	s.mu.RLock()
 	f, ok := s.custom[opName]
 	s.mu.RUnlock()
 	if ok {
-		return f(t)
+		return Predictor(f)
 	}
-	m, ok := s.models[t.Kind]
+	m, ok := s.models[kind]
 	if !ok {
-		panic(fmt.Sprintf("costmodel: no model for kind %v", t.Kind))
+		panic(fmt.Sprintf("costmodel: no model for kind %v", kind))
 	}
-	return m.Predict(t)
+	return m.Predict
 }
 
 // CommNs estimates the duration of a balanced shift moving the given

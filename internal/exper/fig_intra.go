@@ -82,17 +82,19 @@ func (h *Harness) Fig18() (*Table, error) {
 	}
 	t := &Table{
 		Title: "Fig 18: intra-operator search space sizes",
-		Cols:  []string{"Operator", "Complete", "Filtered", "Optimized"},
+		Cols:  []string{"Operator", "Complete", "Filtered", "Optimized", "Truncated ft"},
 	}
 	for _, e := range representativeOps() {
 		r, err := c.SearchOp(e)
 		if err != nil {
 			return nil, err
 		}
-		t.Add(e.Name, r.Spaces.Complete.String(), r.Spaces.Filtered, r.Spaces.Optimized)
+		t.Add(e.Name, r.Spaces.Complete.String(), r.Spaces.Filtered, r.Spaces.Optimized,
+			r.Spaces.TruncatedFtCombos)
 	}
 	t.Notes = append(t.Notes,
-		"paper: complete up to ~10^19, filtered < 10^4, optimized < ~50")
+		"paper: complete up to ~10^19, filtered < 10^4, optimized < ~50",
+		"truncated ft: per-tensor temporal-factor enumerations capped by MaxFtCombos — no silent truncation")
 	return t, nil
 }
 

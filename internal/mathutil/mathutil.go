@@ -8,6 +8,7 @@ package mathutil
 
 import (
 	"math/big"
+	"sync"
 )
 
 // CeilDiv returns ceil(a/b) for positive b.
@@ -73,6 +74,24 @@ func Divisors(n int) []int {
 		small = append(small, large[i])
 	}
 	return small
+}
+
+// divisorMemo caches divisor tables across calls. The plan enumerator
+// asks for the divisors of the same handful of axis lengths and sharing
+// degrees millions of times per search; the table is tiny (one entry per
+// distinct n ever asked about) and lives for the process.
+var divisorMemo sync.Map // int → []int, treated as immutable
+
+// DivisorsCached returns all positive divisors of n in ascending order,
+// memoized across calls. The returned slice is shared — callers must
+// treat it as read-only (use Divisors for a private copy).
+func DivisorsCached(n int) []int {
+	if v, ok := divisorMemo.Load(n); ok {
+		return v.([]int)
+	}
+	d := Divisors(n)
+	v, _ := divisorMemo.LoadOrStore(n, d)
+	return v.([]int)
 }
 
 // Prod returns the product of all values; Prod() == 1.

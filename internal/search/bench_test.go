@@ -1,0 +1,95 @@
+package search
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+)
+
+// benchColdOp is the cold-search workload: the BERT-16 FFN MatMul the
+// paper's Fig 17/18 study (16·128 × 1024 × 4096).
+func benchColdOp() *expr.Expr {
+	return expr.MatMul("mm-bench", 16*128, 1024, 4096, dtype.FP16)
+}
+
+// BenchmarkColdSearch measures one full cold enumeration per iteration
+// (searchOp bypasses every cache layer) in three configurations:
+//
+//	seq    — Workers=1, pruning off: the pre-optimization reference path
+//	par    — Workers=GOMAXPROCS, pruning off: sharding alone
+//	pruned — Workers=GOMAXPROCS, bound-based pruning on: the default
+//
+// All three select bit-identical Pareto plans (TestSearchEquivalence).
+// With BENCH_SEARCH_JSON set, each variant records its numbers into that
+// file so the perf trajectory is tracked across PRs (make bench-search).
+func BenchmarkColdSearch(b *testing.B) {
+	variants := []struct {
+		name    string
+		workers int
+		noPrune bool
+	}{
+		{"seq", 1, true},
+		{"par", 0, true},
+		{"pruned", 0, false},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			s := New(device.IPUMK2(), testCM(), DefaultConstraints(), core.DefaultConfig())
+			s.Workers, s.NoPrune = v.workers, v.noPrune
+			e := benchColdOp()
+			b.ResetTimer()
+			var r *Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = s.searchOp(e)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(r.Spaces.Priced), "priced/op")
+			b.ReportMetric(float64(r.Spaces.Pruned), "pruned/op")
+			recordBench(b, v.name, r)
+		})
+	}
+}
+
+// recordBench merges one variant's numbers into the JSON perf log named
+// by BENCH_SEARCH_JSON (no-op when unset). Unknown keys in an existing
+// file — e.g. hand-recorded history — are preserved.
+func recordBench(b *testing.B, variant string, r *Result) {
+	path := os.Getenv("BENCH_SEARCH_JSON")
+	if path == "" {
+		return
+	}
+	doc := map[string]any{}
+	if blob, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(blob, &doc)
+	}
+	cold, _ := doc["cold_search"].(map[string]any)
+	if cold == nil {
+		cold = map[string]any{}
+		doc["cold_search"] = cold
+	}
+	cold[variant] = map[string]any{
+		"ns_per_op": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		"priced":    r.Spaces.Priced,
+		"pruned":    r.Spaces.Pruned,
+		"filtered":  r.Spaces.Filtered,
+		"pareto":    r.Spaces.Optimized,
+	}
+	doc["gomaxprocs"] = runtime.GOMAXPROCS(0)
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatalf("encode %s: %v", path, err)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		b.Fatalf("write %s: %v", path, err)
+	}
+}

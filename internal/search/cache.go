@@ -14,7 +14,10 @@ import (
 // resultFormat versions the on-disk record layout; bump it whenever the
 // encoding (or the meaning of a cached plan) changes, and stale entries
 // simply stop matching.
-const resultFormat = 1
+//
+// v2: Spaces gained Priced/Pruned/TruncatedFtCombos and the ftChoices
+// subsampler changed, so v1 records describe a different search.
+const resultFormat = 2
 
 // fingerprint derives the content-addressed cache key for one operator
 // search. It covers everything the search outcome depends on: the
@@ -57,6 +60,9 @@ type resultRecord struct {
 	Complete  string            `json:"complete"` // big.Int, decimal
 	Filtered  int               `json:"filtered"`
 	Optimized int               `json:"optimized"`
+	Priced    int               `json:"priced,omitempty"`
+	Pruned    int               `json:"pruned,omitempty"`
+	TruncFt   int               `json:"truncated_ft,omitempty"`
 	ElapsedNs int64             `json:"elapsed_ns"` // original search cost
 }
 
@@ -75,6 +81,9 @@ func encodeResult(r *Result) ([]byte, error) {
 		Op:        r.Op,
 		Filtered:  r.Spaces.Filtered,
 		Optimized: r.Spaces.Optimized,
+		Priced:    r.Spaces.Priced,
+		Pruned:    r.Spaces.Pruned,
+		TruncFt:   r.Spaces.TruncatedFtCombos,
 		ElapsedNs: r.Elapsed.Nanoseconds(),
 	}
 	if r.Spaces.Complete != nil {
@@ -128,6 +137,9 @@ func decodeResult(e *expr.Expr, cfg core.Config, blob []byte) (*Result, error) {
 	}
 	r.Spaces.Filtered = rec.Filtered
 	r.Spaces.Optimized = rec.Optimized
+	r.Spaces.Priced = rec.Priced
+	r.Spaces.Pruned = rec.Pruned
+	r.Spaces.TruncatedFtCombos = rec.TruncFt
 	if rec.Complete != "" {
 		n, ok := new(big.Int).SetString(rec.Complete, 10)
 		if !ok {

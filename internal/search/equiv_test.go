@@ -1,0 +1,264 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+)
+
+// refExpand is the pre-pruning temporal-factor expansion: every ft
+// combination for every tensor under one Fop, in enumeration order.
+func refExpand(s *Searcher, e *expr.Expr, fop []int, fn func(fts [][]int)) {
+	tensors := e.Tensors()
+	perTensor := make([][][]int, len(tensors))
+	for ti, tr := range tensors {
+		if ti == len(tensors)-1 {
+			perTensor[ti] = [][]int{nil}
+			continue
+		}
+		share := 1
+		for a := range e.Axes {
+			if fop[a] > 1 && !expr.ContainsAxis(tr, a) {
+				share *= fop[a]
+			}
+		}
+		perTensor[ti], _ = s.ftChoices(tr, share)
+	}
+	fts := make([][]int, len(tensors))
+	var rec func(ti int)
+	rec = func(ti int) {
+		if ti == len(tensors) {
+			fn(fts)
+			return
+		}
+		for _, choice := range perTensor[ti] {
+			fts[ti] = choice
+			rec(ti + 1)
+		}
+	}
+	rec(0)
+}
+
+// referenceSearch is the brute-force sequential search the engine must
+// stay bit-identical to: construct a complete core.Plan for every
+// candidate, price all of them, batch Pareto filter at the end. This is
+// the pre-optimization code path, kept as the oracle.
+func referenceSearch(s *Searcher, e *expr.Expr) ([]Candidate, int) {
+	var all []Candidate
+	for _, fop := range s.enumerateFops(e) {
+		refExpand(s, e, fop, func(fts [][]int) {
+			p, err := core.NewPlan(e, fop, fts, s.Cfg)
+			if err != nil {
+				return
+			}
+			if !s.paddingOK(e, p) {
+				return
+			}
+			if p.MemPerCore() > int64(s.Spec.CoreMemBytes) {
+				return
+			}
+			all = append(all, Candidate{Plan: p, Est: p.Estimate(s.CM)})
+		})
+	}
+	return paretoFront(all), len(all)
+}
+
+func sameCandidate(a, b *Candidate) bool {
+	if !reflect.DeepEqual(a.Plan.Fop, b.Plan.Fop) {
+		return false
+	}
+	for ti := range a.Plan.Tensors {
+		if !reflect.DeepEqual(a.Plan.Tensors[ti].Ft, b.Plan.Tensors[ti].Ft) {
+			return false
+		}
+	}
+	return a.Est == b.Est
+}
+
+// TestSearchEquivalence proves the parallel, pruned cold search returns
+// byte-identical Pareto sets (plans and estimates) to the brute-force
+// sequential reference, across operators, worker counts and constraint
+// settings.
+func TestSearchEquivalence(t *testing.T) {
+	spec := device.IPUMK2().Subset(64)
+	ops := []*expr.Expr{
+		expr.MatMul("mm", 256, 256, 256, dtype.FP16),
+		expr.MatMul("mm-prime", 509, 512, 512, dtype.FP16),
+		expr.Conv2D("conv", 4, 16, 16, 14, 14, 3, 3, 1, dtype.FP16),
+		expr.GatherOp("emb", 128, 1000, 64, dtype.FP16),
+		expr.ReduceSum("sum", 64, 256, dtype.FP16),
+	}
+	settings := []Constraints{
+		DefaultConstraints(),
+		{ParallelismMin: 0.5, PaddingMin: 0.8, MaxFtCombos: 16},
+		{ParallelismMin: 0.95, PaddingMin: 0.95, MaxFtCombos: 8},
+	}
+	type variant struct {
+		workers int
+		noPrune bool
+	}
+	variants := []variant{{1, false}, {4, false}, {8, true}}
+
+	for _, e := range ops {
+		for ci, cons := range settings {
+			s := New(spec, testCM(), cons, core.DefaultConfig())
+			wantPareto, wantFiltered := referenceSearch(s, e)
+			if len(wantPareto) == 0 {
+				t.Fatalf("%s cons%d: reference found no plans", e.Name, ci)
+			}
+			var wantTrunc *int
+			for _, v := range variants {
+				name := fmt.Sprintf("%s/cons%d/w%d/noprune=%t", e.Name, ci, v.workers, v.noPrune)
+				s.Workers, s.NoPrune = v.workers, v.noPrune
+				r, err := s.searchOp(e)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if r.Spaces.Filtered != wantFiltered {
+					t.Errorf("%s: filtered = %d, want %d", name, r.Spaces.Filtered, wantFiltered)
+				}
+				if r.Spaces.Priced+r.Spaces.Pruned != r.Spaces.Filtered {
+					t.Errorf("%s: priced %d + pruned %d != filtered %d",
+						name, r.Spaces.Priced, r.Spaces.Pruned, r.Spaces.Filtered)
+				}
+				if wantTrunc == nil {
+					wantTrunc = &r.Spaces.TruncatedFtCombos
+				} else if r.Spaces.TruncatedFtCombos != *wantTrunc {
+					t.Errorf("%s: truncated ft = %d, want %d (must not depend on schedule)",
+						name, r.Spaces.TruncatedFtCombos, *wantTrunc)
+				}
+				if len(r.Pareto) != len(wantPareto) {
+					t.Fatalf("%s: pareto size = %d, want %d", name, len(r.Pareto), len(wantPareto))
+				}
+				for i := range wantPareto {
+					if !sameCandidate(&r.Pareto[i], &wantPareto[i]) {
+						t.Fatalf("%s: pareto[%d] differs:\n got Fop=%v est=%+v\nwant Fop=%v est=%+v",
+							name, i, r.Pareto[i].Plan.Fop, r.Pareto[i].Est,
+							wantPareto[i].Plan.Fop, wantPareto[i].Est)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierMatchesParetoFront streams random candidate sets — with
+// deliberate exact (mem, time) ties — through the incremental frontier
+// and checks the result against the batch reference, including the
+// first-enumerated-wins tie-break.
+func TestFrontierMatchesParetoFront(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		all := make([]Candidate, n)
+		for i := range all {
+			all[i].Est.MemPerCore = int64(100 + rng.Intn(8))
+			all[i].Est.TotalNs = float64(10 + rng.Intn(8))
+			all[i].Est.Steps = i // identity tag: enumeration index
+		}
+		var f Frontier
+		for i := range all {
+			f.Insert(all[i])
+		}
+		want := paretoFront(all)
+		got := f.Candidates()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: frontier size %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Est != want[i].Est {
+				t.Fatalf("trial %d: entry %d = %+v, want %+v (tags are enum indices)",
+					trial, i, got[i].Est, want[i].Est)
+			}
+		}
+	}
+}
+
+// TestFrontierDominatedIsSafe checks the pruning predicate: whenever
+// Dominated(mem, lb) holds for an admissible bound lb ≤ t, inserting the
+// actual (mem, t) candidate would have been rejected.
+func TestFrontierDominatedIsSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		var f Frontier
+		for i := 0; i < 30; i++ {
+			var c Candidate
+			c.Est.MemPerCore = int64(100 + rng.Intn(10))
+			c.Est.TotalNs = float64(10 + rng.Intn(10))
+			mem, tm := c.Est.MemPerCore, c.Est.TotalNs
+			lb := tm - float64(rng.Intn(3)) // admissible: lb ≤ t
+			if f.Dominated(mem, lb) {
+				before := append([]Candidate(nil), f.Candidates()...)
+				if f.Insert(c) {
+					t.Fatalf("trial %d: Dominated(%d, %g) but Insert(%d, %g) survived",
+						trial, mem, lb, mem, tm)
+				}
+				if !reflect.DeepEqual(before, f.Candidates()) {
+					t.Fatalf("trial %d: rejected insert mutated the frontier", trial)
+				}
+			} else {
+				f.Insert(c)
+			}
+		}
+	}
+}
+
+// TestFtChoicesBudgetFullyUsed checks the subsample returns exactly
+// MaxFtCombos distinct entries spanning both extremes (the old
+// implementation could return fewer than the budget).
+func TestFtChoicesBudgetFullyUsed(t *testing.T) {
+	e := expr.MatMul("mm", 64, 64, 64, dtype.FP16)
+	tr := e.Inputs[0] // two eligible dims
+	for _, m := range []int{2, 3, 7, 16} {
+		s := New(device.IPUMK2(), testCM(), Constraints{ParallelismMin: 0.9, PaddingMin: 0.9, MaxFtCombos: m}, core.DefaultConfig())
+		// share 64 over 2 dims: 28 combos, well above every budget here
+		out, truncated := s.ftChoices(tr, 64)
+		if !truncated {
+			t.Fatalf("m=%d: expected truncation", m)
+		}
+		if len(out) != m {
+			t.Fatalf("m=%d: got %d combos, want the full budget", m, len(out))
+		}
+		seen := make(map[string]bool)
+		for _, ft := range out {
+			seen[fmt.Sprint(ft)] = true
+		}
+		if len(seen) != m {
+			t.Fatalf("m=%d: %d distinct combos, want %d", m, len(seen), m)
+		}
+		if p := prodOf(out[0]); p != 1 {
+			t.Errorf("m=%d: first combo ∏ft=%d, want the fully replicated extreme", m, p)
+		}
+		if p := prodOf(out[len(out)-1]); p != 64 {
+			t.Errorf("m=%d: last combo ∏ft=%d, want the fully partitioned extreme", m, p)
+		}
+	}
+
+	// below the budget: everything kept, no truncation
+	s := New(device.IPUMK2(), testCM(), DefaultConstraints(), core.DefaultConfig())
+	out, truncated := s.ftChoices(tr, 4) // 6 combos < 64
+	if truncated || len(out) != 6 {
+		t.Fatalf("share=4: got %d combos truncated=%t, want all 6 untruncated", len(out), truncated)
+	}
+
+	// m == 1 keeps the replicated extreme
+	s1 := New(device.IPUMK2(), testCM(), Constraints{ParallelismMin: 0.9, PaddingMin: 0.9, MaxFtCombos: 1}, core.DefaultConfig())
+	out, truncated = s1.ftChoices(tr, 64)
+	if !truncated || len(out) != 1 || prodOf(out[0]) != 1 {
+		t.Fatalf("m=1: got %v truncated=%t, want the single replicated combo", out, truncated)
+	}
+}
+
+func prodOf(vs []int) int {
+	p := 1
+	for _, v := range vs {
+		p *= v
+	}
+	return p
+}

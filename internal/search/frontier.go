@@ -1,0 +1,101 @@
+package search
+
+import (
+	"sort"
+	"sync"
+)
+
+// Frontier is an incrementally maintained memory/time Pareto frontier
+// (§4.3.1). Entries are kept sorted by MemPerCore strictly ascending
+// with TotalNs strictly descending, so dominance queries are one binary
+// search over a few dozen entries instead of a collect-all-then-sort
+// pass at the end of the search.
+//
+// When candidates are inserted in enumeration order, the final frontier
+// is exactly what paretoFront computes over the full candidate list —
+// including the tie-breaking (first enumerated wins an exact (mem, time)
+// tie) that keeps plan selection reproducible. The equivalence is
+// property-tested against paretoFront.
+type Frontier struct {
+	ents []Candidate
+}
+
+// search returns the index of the first entry with memory > mem.
+func (f *Frontier) search(mem int64) int {
+	return sort.Search(len(f.ents), func(i int) bool {
+		return f.ents[i].Est.MemPerCore > mem
+	})
+}
+
+// Dominated reports whether a candidate with exact per-core memory mem
+// and TotalNs ≥ lowerNs can never enter the frontier: some priced
+// candidate already uses no more memory and no more time than the
+// incoming one possibly could. Pruning on an admissible lower bound is
+// safe — a rejected insert never alters the frontier, so skipping the
+// candidate entirely leaves the final frontier bit-identical.
+func (f *Frontier) Dominated(mem int64, lowerNs float64) bool {
+	i := f.search(mem)
+	// times decrease strictly with memory, so the best time among all
+	// entries with memory ≤ mem is the last of them
+	return i > 0 && f.ents[i-1].Est.TotalNs <= lowerNs
+}
+
+// Insert adds one priced candidate, returning whether it survived.
+// Candidates must arrive in enumeration order for exact tie
+// reproducibility: an existing entry wins an exact (mem, time) tie
+// because it was enumerated first.
+func (f *Frontier) Insert(c Candidate) bool {
+	mem, t := c.Est.MemPerCore, c.Est.TotalNs
+	i := f.search(mem)
+	if i > 0 && f.ents[i-1].Est.TotalNs <= t {
+		return false // dominated (or exact-tied) by an earlier entry
+	}
+	if i > 0 && f.ents[i-1].Est.MemPerCore == mem {
+		// same memory, strictly faster: take the predecessor's slot
+		i--
+		f.ents[i] = c
+	} else {
+		f.ents = append(f.ents, Candidate{})
+		copy(f.ents[i+1:], f.ents[i:])
+		f.ents[i] = c
+	}
+	// drop successors the new entry dominates (time ≥ t at more memory)
+	j := i + 1
+	for j < len(f.ents) && f.ents[j].Est.TotalNs >= t {
+		j++
+	}
+	if j > i+1 {
+		f.ents = append(f.ents[:i+1], f.ents[j:]...)
+	}
+	return true
+}
+
+// Candidates returns the frontier sorted by memory ascending (time
+// descending). The slice is owned by the frontier.
+func (f *Frontier) Candidates() []Candidate { return f.ents }
+
+// Len returns the number of frontier entries.
+func (f *Frontier) Len() int { return len(f.ents) }
+
+// pruneFrontier shares a frontier of already-priced candidates across
+// the search workers. It is advisory: pruning consults whatever subset
+// of priced candidates has landed so far, and any subset yields only
+// safe prunes, so the insertion order races between workers never
+// affect the final Pareto set — only how many candidates get priced.
+type pruneFrontier struct {
+	mu sync.RWMutex
+	f  Frontier
+}
+
+func (pf *pruneFrontier) dominated(mem int64, lowerNs float64) bool {
+	pf.mu.RLock()
+	d := pf.f.Dominated(mem, lowerNs)
+	pf.mu.RUnlock()
+	return d
+}
+
+func (pf *pruneFrontier) add(c Candidate) {
+	pf.mu.Lock()
+	pf.f.Insert(c)
+	pf.mu.Unlock()
+}

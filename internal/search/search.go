@@ -10,13 +10,25 @@
 // the operator's dimension count), the rule-based constraints cut it to
 // at most a few thousand candidates, and the cost model reduces those to
 // a few dozen Pareto-optimal plans.
+//
+// The cold path is a parallel, pruning search engine: the Fop
+// enumeration shards across a bounded worker pool, each candidate first
+// passes a cheap sketch phase (core.PlanSketch: exact memory, padded
+// extents and an admissible lower bound on TotalNs without building
+// rotation state), and candidates whose (memory, bound) pair is already
+// dominated by the running Pareto frontier are skipped before
+// core.NewPlan or the full estimate ever run. A deterministic merge
+// keeps the selected Pareto set bit-identical to the sequential,
+// unpruned enumeration at every worker count.
 package search
 
 import (
 	"fmt"
 	"math/big"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -39,7 +51,9 @@ type Constraints struct {
 	PaddingMin float64
 
 	// MaxFtCombos caps the temporal-factor combinations considered per
-	// tensor per Fop (a safety valve; generous by default).
+	// tensor per Fop (a safety valve; generous by default). Zero or
+	// negative means unlimited. Capped enumerations are counted in
+	// Spaces.TruncatedFtCombos — no silent truncation.
 	MaxFtCombos int
 }
 
@@ -48,7 +62,7 @@ func DefaultConstraints() Constraints {
 	return Constraints{ParallelismMin: 0.9, PaddingMin: 0.9, MaxFtCombos: 64}
 }
 
-// Spaces reports the three space sizes of Fig 18.
+// Spaces reports the three space sizes of Fig 18 plus search diagnostics.
 type Spaces struct {
 	// Complete is the size of the unconstrained plan space (all Fop over
 	// full axis ranges × all temporal factorizations), estimated by
@@ -57,11 +71,27 @@ type Spaces struct {
 	Complete *big.Int
 
 	// Filtered is the number of plans that survived the rule-based
-	// constraints and were priced by the cost model.
+	// constraints (valid partition, padding ratio, per-core memory).
+	// Deterministic across worker counts and pruning settings.
 	Filtered int
 
 	// Optimized is the number of Pareto-optimal plans kept.
 	Optimized int
+
+	// Priced is the number of filtered candidates that reached the full
+	// cost model; Pruned is the number skipped before full pricing
+	// because their sketch (memory, time lower bound) was already
+	// dominated by the running frontier. Priced + Pruned == Filtered.
+	// The split is schedule-dependent under parallel search (the Pareto
+	// set is not).
+	Priced int
+	Pruned int
+
+	// TruncatedFtCombos counts the per-tensor temporal-factor
+	// enumerations that hit a cap (the MaxFtCombos subsample or the
+	// internal hard cap), summed over all Fop candidates — surfaced so a
+	// capped search is never silent. Deterministic.
+	TruncatedFtCombos int
 }
 
 // Candidate is one priced plan.
@@ -113,6 +143,16 @@ type Searcher struct {
 	Cons    Constraints
 	Cfg     core.Config
 	KeepAll bool
+
+	// Workers bounds the Fop shards of one cold search; 0 means
+	// runtime.GOMAXPROCS(0). Plan selection is bit-identical at every
+	// width — Workers only changes wall-clock (and the Priced/Pruned
+	// split).
+	Workers int
+
+	// NoPrune disables bound-based pruning, pricing every filtered
+	// candidate (the reference path; KeepAll implies it).
+	NoPrune bool
 
 	cache *plancache.Cache
 
@@ -205,44 +245,213 @@ func (s *Searcher) lookupOrSearch(key plancache.Key, e *expr.Expr) (*Result, err
 	return r, nil
 }
 
+// fopShard collects one Fop's candidates and counters. Workers write
+// disjoint shards; the merge reads them in enumeration order, so the
+// outcome is independent of pool scheduling.
+type fopShard struct {
+	cands     []Candidate
+	filtered  int
+	pruned    int
+	truncated int
+}
+
 // searchOp runs the actual enumeration (§4.3.1), bypassing every cache
 // layer.
 func (s *Searcher) searchOp(e *expr.Expr) (*Result, error) {
 	start := time.Now()
 	r := &Result{Op: e.Name}
 
+	// The complete-space estimator is independent of the enumeration;
+	// overlap it with the workers.
+	completeCh := make(chan *big.Int, 1)
+	go func() { completeCh <- s.CompleteSpace(e) }()
+
 	fops := s.enumerateFops(e)
 	if len(fops) == 0 {
 		return nil, fmt.Errorf("search %s: no operator partition passes the constraints", e.Name)
 	}
-	var all []Candidate
-	for _, fop := range fops {
-		s.expandFts(e, fop, func(fts [][]int) {
-			p, err := core.NewPlan(e, fop, fts, s.Cfg)
-			if err != nil {
-				return
-			}
-			if !s.paddingOK(e, p) {
-				return
-			}
-			if p.MemPerCore() > int64(s.Spec.CoreMemBytes) {
-				return
-			}
-			all = append(all, Candidate{Plan: p, Est: p.Estimate(s.CM)})
-		})
+
+	pred := s.CM.Resolve(e.Name, e.Kind)
+	var pf *pruneFrontier
+	if !s.KeepAll && !s.NoPrune {
+		pf = &pruneFrontier{}
 	}
-	if len(all) == 0 {
+	shards := make([]fopShard, len(fops))
+	var next atomic.Int64
+	work := func() {
+		w := newSearchWorker(s, e, pred)
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(fops) {
+				return
+			}
+			w.processFop(fops[i], &shards[i], pf)
+		}
+	}
+	if workers := s.searchWorkers(len(fops)); workers <= 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for n := 0; n < workers; n++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic merge: stream every shard's candidates into the
+	// frontier in enumeration order — exactly the order the sequential
+	// path would have produced them.
+	var front Frontier
+	for i := range shards {
+		sh := &shards[i]
+		r.Spaces.Filtered += sh.filtered
+		r.Spaces.Priced += len(sh.cands)
+		r.Spaces.Pruned += sh.pruned
+		r.Spaces.TruncatedFtCombos += sh.truncated
+		for j := range sh.cands {
+			front.Insert(sh.cands[j])
+		}
+		if s.KeepAll {
+			r.All = append(r.All, sh.cands...)
+		}
+	}
+	if front.Len() == 0 {
 		return nil, fmt.Errorf("search %s: every candidate exceeds core memory", e.Name)
 	}
-	r.Spaces.Filtered = len(all)
-	r.Pareto = paretoFront(all)
+	r.Pareto = front.Candidates()
 	r.Spaces.Optimized = len(r.Pareto)
-	r.Spaces.Complete = s.CompleteSpace(e)
-	if s.KeepAll {
-		r.All = all
-	}
+	r.Spaces.Complete = <-completeCh
 	r.Elapsed = time.Since(start)
 	return r, nil
+}
+
+// searchWorkers returns the Fop shard pool width for n partition
+// candidates.
+func (s *Searcher) searchWorkers(n int) int {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return mathutil.Clamp(w, 1, n)
+}
+
+// searchWorker holds one goroutine's scratch state: the plan sketch,
+// the temporal-factor choice memo and the reusable combination buffers —
+// nothing here allocates per candidate.
+type searchWorker struct {
+	s       *Searcher
+	e       *expr.Expr
+	tensors []expr.TensorRef
+	pred    costmodel.Predictor
+	sketch  *core.PlanSketch
+
+	perTensor [][][]int
+	fts       [][]int
+	// ftMemo caches ftChoices per tensor by sharing degree: distinct
+	// Fops repeat the same (tensor, share) pairs constantly.
+	ftMemo []map[int]ftChoiceSet
+}
+
+// ftChoiceSet is one memoized ftChoices outcome.
+type ftChoiceSet struct {
+	combos    [][]int
+	truncated bool
+}
+
+func newSearchWorker(s *Searcher, e *expr.Expr, pred costmodel.Predictor) *searchWorker {
+	tensors := e.Tensors()
+	w := &searchWorker{
+		s: s, e: e, tensors: tensors, pred: pred,
+		sketch:    core.NewPlanSketch(e, s.Cfg),
+		perTensor: make([][][]int, len(tensors)),
+		fts:       make([][]int, len(tensors)),
+		ftMemo:    make([]map[int]ftChoiceSet, len(tensors)),
+	}
+	for ti := range w.ftMemo {
+		w.ftMemo[ti] = make(map[int]ftChoiceSet)
+	}
+	return w
+}
+
+// ftNoSplit is the single "no temporal partitioning" choice, shared
+// read-only.
+var ftNoSplit = [][]int{nil}
+
+// processFop enumerates and evaluates every temporal-factor assignment
+// under one Fop. The output tensor never takes temporal factors.
+func (w *searchWorker) processFop(fop []int, out *fopShard, pf *pruneFrontier) {
+	for ti, tr := range w.tensors {
+		if ti == len(w.tensors)-1 {
+			w.perTensor[ti] = ftNoSplit
+			continue
+		}
+		share := 1
+		for a := range w.e.Axes {
+			if fop[a] > 1 && !expr.ContainsAxis(tr, a) {
+				share *= fop[a]
+			}
+		}
+		cs, ok := w.ftMemo[ti][share]
+		if !ok {
+			combos, truncated := w.s.ftChoices(tr, share)
+			cs = ftChoiceSet{combos: combos, truncated: truncated}
+			w.ftMemo[ti][share] = cs
+		}
+		if cs.truncated {
+			out.truncated++
+		}
+		w.perTensor[ti] = cs.combos
+	}
+	var rec func(ti int)
+	rec = func(ti int) {
+		if ti == len(w.tensors) {
+			w.consider(fop, out, pf)
+			return
+		}
+		for _, choice := range w.perTensor[ti] {
+			w.fts[ti] = choice
+			rec(ti + 1)
+		}
+	}
+	rec(0)
+}
+
+// consider evaluates one (Fop, fts) candidate: sketch first, full plan
+// and estimate only if the sketch survives the frontier bound.
+func (w *searchWorker) consider(fop []int, out *fopShard, pf *pruneFrontier) {
+	s := w.s
+	if !w.sketch.Compute(fop, w.fts) {
+		return
+	}
+	if !s.sketchPaddingOK(w.e, fop, w.sketch.SubLen) {
+		return
+	}
+	if w.sketch.MemPerCore > int64(s.Spec.CoreMemBytes) {
+		return
+	}
+	out.filtered++
+	if pf != nil {
+		lb := w.sketch.LowerBoundNs(s.CM.Spec, w.pred)
+		if pf.dominated(w.sketch.MemPerCore, lb) {
+			out.pruned++
+			return
+		}
+	}
+	p, err := core.NewPlan(w.e, fop, w.fts, s.Cfg)
+	if err != nil {
+		// the sketch mirrors every NewPlan check, so this is unreachable;
+		// skipping keeps the search robust if they ever drift
+		return
+	}
+	c := Candidate{Plan: p, Est: p.EstimateWith(s.CM.Spec, w.pred)}
+	out.cands = append(out.cands, c)
+	if pf != nil {
+		pf.add(c)
+	}
 }
 
 // axisCandidates returns the Fop values considered for one axis: exact
@@ -252,7 +461,7 @@ func (s *Searcher) searchOp(e *expr.Expr) (*Result, error) {
 func (s *Searcher) axisCandidates(length int) []int {
 	limit := mathutil.Min(length, s.Spec.Cores)
 	set := map[int]bool{1: true, limit: true}
-	for _, d := range mathutil.Divisors(length) {
+	for _, d := range mathutil.DivisorsCached(length) {
 		if d <= limit {
 			set[d] = true
 		}
@@ -260,7 +469,7 @@ func (s *Searcher) axisCandidates(length int) []int {
 	for v := 1; v <= limit; v *= 2 {
 		set[v] = true
 	}
-	for _, d := range mathutil.Divisors(s.Spec.Cores) {
+	for _, d := range mathutil.DivisorsCached(s.Spec.Cores) {
 		if d <= limit {
 			set[d] = true
 		}
@@ -280,16 +489,21 @@ func (s *Searcher) axisPaddingOK(length, f int) bool {
 	return float64(length)/float64(padded) >= s.Cons.PaddingMin
 }
 
-// paddingOK re-checks the padding ratio after temporal factors rounded
-// the sub-operator extents up.
-func (s *Searcher) paddingOK(e *expr.Expr, p *core.Plan) bool {
+// sketchPaddingOK re-checks the padding ratio after temporal factors
+// rounded the sub-operator extents up, from the sketch's padded extents.
+func (s *Searcher) sketchPaddingOK(e *expr.Expr, fop, subLen []int) bool {
 	for a := range e.Axes {
-		padded := p.SubLen[a] * p.Fop[a]
+		padded := subLen[a] * fop[a]
 		if float64(e.Axes[a].Size)/float64(padded) < s.Cons.PaddingMin {
 			return false
 		}
 	}
 	return true
+}
+
+// paddingOK is sketchPaddingOK over a built plan (the reference path).
+func (s *Searcher) paddingOK(e *expr.Expr, p *core.Plan) bool {
+	return s.sketchPaddingOK(e, p.Fop, p.SubLen)
 }
 
 // enumerateFops lists the operator partition factors passing the
@@ -357,56 +571,24 @@ func (s *Searcher) enumerateFops(e *expr.Expr) [][]int {
 	return out
 }
 
-// expandFts enumerates temporal-factor assignments for all input tensors
-// under one Fop and invokes fn for each combination. The output tensor
-// never takes temporal factors.
-func (s *Searcher) expandFts(e *expr.Expr, fop []int, fn func(fts [][]int)) {
-	tensors := e.Tensors()
-	perTensor := make([][][]int, len(tensors))
-	for ti, tr := range tensors {
-		if ti == len(tensors)-1 {
-			perTensor[ti] = [][]int{nil}
-			continue
-		}
-		share := 1
-		for a := range e.Axes {
-			if fop[a] > 1 && !expr.ContainsAxis(tr, a) {
-				share *= fop[a]
-			}
-		}
-		perTensor[ti] = s.ftChoices(tr, share)
-	}
-	fts := make([][]int, len(tensors))
-	var rec func(ti int)
-	rec = func(ti int) {
-		if ti == len(tensors) {
-			fn(fts)
-			return
-		}
-		for _, choice := range perTensor[ti] {
-			fts[ti] = choice
-			rec(ti + 1)
-		}
-	}
-	rec(0)
-}
-
 // ftChoices lists the temporal factor vectors of one tensor: products of
 // divisors of the sharing degree distributed over the tensor's
 // single-axis stride-1 dims. When the space exceeds MaxFtCombos it is
 // subsampled evenly across the replication spectrum (sorted by ∏ft), so
 // both the fully replicated and the fully partitioned layouts survive —
-// the inter-operator scheduler needs the extremes.
-func (s *Searcher) ftChoices(tr expr.TensorRef, share int) [][]int {
+// the inter-operator scheduler needs the extremes. The second return
+// reports whether any cap truncated the enumeration.
+func (s *Searcher) ftChoices(tr expr.TensorRef, share int) ([][]int, bool) {
 	nd := len(tr.Dims)
 	if share <= 1 {
-		return [][]int{nil}
+		return ftNoSplit, false
 	}
 	eligible := make([]bool, nd)
 	for d, dim := range tr.Dims {
 		eligible[d] = !dim.Compound() && dim.Terms[0].Stride == 1
 	}
 	const hardCap = 4096
+	capped := false
 	var out [][]int
 	ft := make([]int, nd)
 	for i := range ft {
@@ -415,6 +597,8 @@ func (s *Searcher) ftChoices(tr expr.TensorRef, share int) [][]int {
 	var rec func(d, rem int)
 	rec = func(d, rem int) {
 		if len(out) >= hardCap {
+			// every pending call would yield at least one more vector
+			capped = true
 			return
 		}
 		if d == nd {
@@ -425,47 +609,64 @@ func (s *Searcher) ftChoices(tr expr.TensorRef, share int) [][]int {
 			rec(d+1, rem)
 			return
 		}
-		for _, v := range mathutil.Divisors(rem) {
+		for _, v := range mathutil.DivisorsCached(rem) {
 			ft[d] = v
 			rec(d+1, rem/v)
 		}
 		ft[d] = 1
 	}
 	rec(0, share)
-	if len(out) <= s.Cons.MaxFtCombos {
-		return out
+	m := s.Cons.MaxFtCombos
+	if m <= 0 || len(out) <= m {
+		return out, capped
 	}
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := mathutil.Prod(out[i]...), mathutil.Prod(out[j]...)
-		if pi != pj {
-			return pi < pj
-		}
-		// total order: lexicographic tie-break keeps subsampling
-		// deterministic across runs
-		for d := range out[i] {
-			if out[i][d] != out[j][d] {
-				return out[i][d] < out[j][d]
-			}
-		}
-		return false
-	})
-	kept := make([][]int, 0, s.Cons.MaxFtCombos)
-	step := float64(len(out)-1) / float64(s.Cons.MaxFtCombos-1)
-	prev := -1
-	for i := 0; i < s.Cons.MaxFtCombos; i++ {
-		idx := int(float64(i) * step)
-		if idx == prev {
-			continue
-		}
-		kept = append(kept, out[idx])
-		prev = idx
+	prods := make([]int, len(out))
+	for i := range out {
+		prods[i] = mathutil.Prod(out[i]...)
 	}
-	return kept
+	sort.Sort(&ftOrder{vecs: out, prods: prods})
+	if m == 1 {
+		return out[:1], true // the fully replicated extreme
+	}
+	// evenly spaced integer indices: strictly increasing (the stride
+	// (len-1)/(m-1) is ≥ 1 here), so exactly m distinct entries are kept
+	// and both extremes survive — the budget is fully used
+	kept := make([][]int, m)
+	last := len(out) - 1
+	for i := range kept {
+		kept[i] = out[i*last/(m-1)]
+	}
+	return kept, true
+}
+
+// ftOrder sorts temporal-factor vectors by ∏ft with a lexicographic
+// tie-break: a total order, so subsampling is deterministic across runs.
+type ftOrder struct {
+	vecs  [][]int
+	prods []int
+}
+
+func (o *ftOrder) Len() int { return len(o.vecs) }
+func (o *ftOrder) Swap(i, j int) {
+	o.vecs[i], o.vecs[j] = o.vecs[j], o.vecs[i]
+	o.prods[i], o.prods[j] = o.prods[j], o.prods[i]
+}
+func (o *ftOrder) Less(i, j int) bool {
+	if o.prods[i] != o.prods[j] {
+		return o.prods[i] < o.prods[j]
+	}
+	for d := range o.vecs[i] {
+		if o.vecs[i][d] != o.vecs[j][d] {
+			return o.vecs[i][d] < o.vecs[j][d]
+		}
+	}
+	return false
 }
 
 // paretoFront keeps the candidates on the memory/time Pareto frontier:
 // each kept plan is faster than everything with the same or less memory
-// (§4.3.1). The result is sorted by memory ascending.
+// (§4.3.1). The result is sorted by memory ascending. This is the batch
+// reference the streaming Frontier is property-tested against.
 func paretoFront(all []Candidate) []Candidate {
 	sorted := append([]Candidate(nil), all...)
 	// stable: exact (mem, time) ties resolve by enumeration order, so

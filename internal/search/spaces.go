@@ -30,14 +30,26 @@ func (s *Searcher) CompleteSpace(e *expr.Expr) *big.Int {
 	const samples = 2000
 	rng := rand.New(rand.NewSource(12345))
 	fop := make([]int, nAxes)
+	tensors := e.Tensors()
+	// eligible (single-axis stride-1) dim counts are fixed per tensor
+	nds := make([]int, len(tensors))
+	for ti, tr := range tensors {
+		for _, dim := range tr.Dims {
+			if !dim.Compound() && dim.Terms[0].Stride == 1 {
+				nds[ti]++
+			}
+		}
+	}
+	// sampled sharing degrees repeat constantly; memoize the counts
+	memo := make(map[[2]int]float64)
 	var mean float64
 	for i := 0; i < samples; i++ {
 		for a, ax := range e.Axes {
 			fop[a] = 1 + rng.Intn(ax.Size)
 		}
 		prod := 1.0
-		for ti, tr := range e.Tensors() {
-			if ti == len(e.Tensors())-1 {
+		for ti, tr := range tensors {
+			if ti == len(tensors)-1 {
 				continue
 			}
 			share := 1
@@ -46,13 +58,13 @@ func (s *Searcher) CompleteSpace(e *expr.Expr) *big.Int {
 					share *= fop[a]
 				}
 			}
-			nd := 0
-			for _, dim := range tr.Dims {
-				if !dim.Compound() && dim.Terms[0].Stride == 1 {
-					nd++
-				}
+			key := [2]int{share, nds[ti]}
+			c, ok := memo[key]
+			if !ok {
+				c = float64(ftCount(share, nds[ti]))
+				memo[key] = c
 			}
-			prod *= float64(ftCount(share, nd))
+			prod *= c
 		}
 		mean += prod / samples
 	}
@@ -74,7 +86,7 @@ func ftCount(share, nd int) int64 {
 		return 1
 	}
 	var total int64
-	for _, d := range mathutil.Divisors(share) {
+	for _, d := range mathutil.DivisorsCached(share) {
 		total += orderedFactorizations(d, nd)
 	}
 	return total

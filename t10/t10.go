@@ -51,7 +51,8 @@ type Options struct {
 	KeepAllCandidates bool
 
 	// Workers bounds the intra-operator search pool CompileModel fans
-	// operators out to; 0 means runtime.GOMAXPROCS(0). Workers=1 is the
+	// operators out to, and the Fop shards each cold search fans out to
+	// internally; 0 means runtime.GOMAXPROCS(0). Workers=1 is the
 	// sequential reference path — plan selection is bit-identical at
 	// every width.
 	Workers int
@@ -102,6 +103,7 @@ func New(spec *device.Spec, opts Options) (*Compiler, error) {
 	}
 	s := search.New(spec, cm, opts.Constraints, opts.PlanConfig)
 	s.KeepAll = opts.KeepAllCandidates
+	s.Workers = opts.Workers
 	if opts.SharedCache != nil {
 		s.SetCache(opts.SharedCache)
 	} else if opts.CacheDir != "" || opts.CacheEntries != 0 {
