@@ -18,6 +18,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -36,7 +37,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheDir := flag.String("cachedir", "", "on-disk plan cache directory")
-	workers := flag.Int("workers", 0, "search worker pool size per compile (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "compile-wide worker budget shared by the operator pool and the Fop shards (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	opts := t10.DefaultOptions()
@@ -142,6 +143,11 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	var req compileRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxBodyBytes)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}

@@ -154,6 +154,50 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestOversizedBodyRejectedWith413 posts a body past the MaxBytesReader
+// limit: the reply must be 413 (not a generic 400) and still JSON.
+func TestOversizedBodyRejectedWith413(t *testing.T) {
+	s := testServer(t)
+	big := `{"model":"BERT","pad":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`
+	resp := postJSON(t, s.URL+"/compile", big, nil)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("oversized body: Content-Type %q, want application/json", ct)
+	}
+	// a body of exactly maxBodyBytes is a well-formed (if padded)
+	// request and must not trip the limiter
+	env := `{"model":"BERT","batch":1,"pad":""}`
+	small := `{"model":"BERT","batch":1,"pad":"` + strings.Repeat("x", maxBodyBytes-len(env)) + `"}`
+	if len(small) != maxBodyBytes {
+		t.Fatalf("test bug: boundary body is %d bytes, want %d", len(small), maxBodyBytes)
+	}
+	if resp := postJSON(t, s.URL+"/compile", small, nil); resp.StatusCode == http.StatusRequestEntityTooLarge {
+		t.Error("body of exactly the limit rejected as too large")
+	}
+}
+
+// TestJSONRepliesCarryContentType checks every JSON-bodied reply —
+// success, client error and cache stats — sets the header.
+func TestJSONRepliesCarryContentType(t *testing.T) {
+	s := testServer(t)
+	check := func(what string, resp *http.Response) {
+		t.Helper()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type %q, want application/json", what, ct)
+		}
+	}
+	check("compile op", postJSON(t, s.URL+"/compile", `{"op":{"name":"mm","m":64,"k":64,"n":64}}`, nil))
+	check("bad request", postJSON(t, s.URL+"/compile", `{}`, nil))
+	resp, err := http.Get(s.URL + "/cachestats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	check("cachestats", resp)
+}
+
 func TestHealthz(t *testing.T) {
 	s := testServer(t)
 	resp, err := http.Get(s.URL + "/healthz")

@@ -52,6 +52,18 @@ type PlanSketch struct {
 	missing   [][]int
 	rotBuf    []int
 	anyRot    bool
+
+	// Incremental (partial-assignment) state — see Begin/Fix/Unfix.
+	pFop     []int
+	pRaw     []int   // unpadded sub-operator extents for pFop
+	pDepth   int     // tensors fixed so far
+	pLCM     [][]int // per-depth prefix of the per-axis temporal-factor LCM
+	pMax     [][]int // per-depth prefix of the per-axis max temporal factor
+	pFts     [][]int // fixed temporal factors, borrowed
+	pRotTis  []int   // (tensor, axis) pairs rotating so far, flattened
+	pRotAxis []int
+	pRotLen  []int // per-depth prefix length of pRotTis/pRotAxis
+	pExt     []int // scratch: padded prefix extents
 }
 
 // NewPlanSketch sizes a sketch for one operator. cfg follows NewPlan's
@@ -75,10 +87,24 @@ func NewPlanSketch(e *expr.Expr, cfg Config) *PlanSketch {
 		shareP:    make([]int, nt),
 		missing:   make([][]int, nt),
 		rotBuf:    make([]int, 0, 2*nt),
+
+		pRaw:     make([]int, na),
+		pLCM:     make([][]int, nt+1),
+		pMax:     make([][]int, nt+1),
+		pFts:     make([][]int, nt),
+		pRotTis:  make([]int, 0, 2*nt),
+		pRotAxis: make([]int, 0, 2*nt),
+		pRotLen:  make([]int, nt+1),
+		pExt:     make([]int, na),
 	}
 	backing := make([]int, nt*na)
 	for ti := range ps.missing {
 		ps.missing[ti] = backing[ti*na : ti*na : (ti+1)*na]
+	}
+	pBacking := make([]int, 2*(nt+1)*na)
+	for d := 0; d <= nt; d++ {
+		ps.pLCM[d] = pBacking[2*d*na : (2*d+1)*na]
+		ps.pMax[d] = pBacking[(2*d+1)*na : (2*d+2)*na]
 	}
 	return ps
 }
@@ -267,22 +293,35 @@ func (ps *PlanSketch) LowerBoundNs(spec *device.Spec, pred costmodel.Predictor) 
 	}
 
 	syncs := float64(ps.TotalSteps)
-	if r := ps.shareP[len(ps.tensors)-1]; r > 1 {
-		// exact: ReduceShare and the output sub-tensor size depend only
-		// on Fop and the padded extents
-		out := ps.tensors[len(ps.tensors)-1]
-		subBytes := int64(1)
-		for _, dim := range out.Dims {
-			subBytes *= int64(e.DimSize(dim, ps.SubLen))
-		}
-		subBytes *= elemSize(out.Elem)
-		phases := 2 * (r - 1)
-		bytes := 2 * subBytes * int64(r-1) / int64(r)
-		total += float64(bytes)/bw + float64(phases)*spec.ExchangeStartupNs
-		syncs += float64(phases)
-	}
+	ar, phases := ps.allReduceFloor(spec, ps.SubLen)
+	total += ar
+	syncs += phases
 	total += syncs * spec.SyncNs
 	return total * (1 - 1e-9)
+}
+
+// allReduceFloor returns the all-reduce time term and its sync phase
+// count for the output's sharing degree, with the sub-tensor priced at
+// the given extents. ReduceShare depends only on Fop, and the term is
+// monotone in the extents, so it is exact at the final SubLen and an
+// admissible floor at any prefix of the padding. Both bounds share this
+// one implementation of EstimateWith's all-reduce math — they must stay
+// term-for-term identical to it.
+func (ps *PlanSketch) allReduceFloor(spec *device.Spec, ext []int) (ns, syncPhases float64) {
+	r := ps.shareP[len(ps.tensors)-1]
+	if r <= 1 {
+		return 0, 0
+	}
+	out := ps.tensors[len(ps.tensors)-1]
+	subBytes := int64(1)
+	for _, dim := range out.Dims {
+		subBytes *= int64(ps.e.DimSize(dim, ext))
+	}
+	subBytes *= elemSize(out.Elem)
+	phases := 2 * (r - 1)
+	bytes := 2 * subBytes * int64(r-1) / int64(r)
+	return float64(bytes)/spec.LinkBytesPerNs() + float64(phases)*spec.ExchangeStartupNs,
+		float64(phases)
 }
 
 // ftOf returns the temporal factors of tensor ti, or nil.
@@ -291,4 +330,267 @@ func ftOf(fts [][]int, ti int) []int {
 		return nil
 	}
 	return fts[ti]
+}
+
+// The incremental form prices a *partial* temporal-factor assignment:
+// Begin fixes the Fop, Fix appends one tensor's temporal factors at a
+// time, and the Partial* methods bound every completion of the current
+// prefix — so the search can cut whole subtrees of the f_t recursion
+// before enumerating the deeper tensors. Correctness contract (enforced
+// by property tests):
+//
+//   - Fix returns false only when NewPlan would fail for EVERY
+//     completion of the prefix (the rejected checks — factor
+//     eligibility, ∏ft | ShareP, rotation alignment between fixed
+//     tensors — do not depend on the unfixed tensors);
+//   - PartialMemLB never exceeds Plan.MemPerCore() of any valid
+//     completion (later tensors only grow the padded extents and add
+//     footprint);
+//   - PartialTimeLB never exceeds Plan.EstimateWith(...).TotalNs of any
+//     valid completion. It is predictor-free: the compute term is
+//     bounded by zero because custom cost functions are arbitrary, so
+//     only the shift, all-reduce and sync floors contribute.
+//
+// Begin/Fix/Unfix use state disjoint from Compute's scratch: the leaf
+// of the recursion still runs the full Compute on the same sketch.
+
+// Begin starts a partial assignment for one operator partition factor.
+// It returns false when the Fop itself is out of range (NewPlan would
+// reject it regardless of temporal factors).
+func (ps *PlanSketch) Begin(fop []int) bool {
+	e := ps.e
+	if len(fop) != len(e.Axes) {
+		return false
+	}
+	for a, f := range fop {
+		if f < 1 || f > e.Axes[a].Size {
+			return false
+		}
+		ps.pRaw[a] = mathutil.CeilDiv(e.Axes[a].Size, f)
+		ps.pLCM[0][a] = 1
+		ps.pMax[0][a] = 1
+	}
+	ps.pFop = fop
+	ps.pDepth = 0
+	ps.pRotTis = ps.pRotTis[:0]
+	ps.pRotAxis = ps.pRotAxis[:0]
+	ps.pRotLen[0] = 0
+	// sharing degrees and missing axes depend on Fop alone
+	for ti, tr := range ps.tensors {
+		ps.missing[ti] = ps.missing[ti][:0]
+		shareP := 1
+		for a := range e.Axes {
+			if fop[a] > 1 && !expr.ContainsAxis(tr, a) {
+				ps.missing[ti] = append(ps.missing[ti], a)
+				shareP *= fop[a]
+			}
+		}
+		ps.shareP[ti] = shareP
+	}
+	return true
+}
+
+// Fix appends tensor pDepth's temporal factors to the prefix. It
+// returns false — leaving the prefix unchanged — exactly when every
+// completion of the extended prefix is invalid; the caller then skips
+// the subtree without Unfix.
+func (ps *PlanSketch) Fix(ft []int) bool {
+	ti := ps.pDepth
+	tr := ps.tensors[ti]
+	d0, d1 := ps.pLCM[ti], ps.pLCM[ti+1]
+	m0, m1 := ps.pMax[ti], ps.pMax[ti+1]
+	copy(d1, d0)
+	copy(m1, m0)
+	rot := ps.pRotLen[ti]
+	ps.pRotTis = ps.pRotTis[:rot]
+	ps.pRotAxis = ps.pRotAxis[:rot]
+
+	if ft != nil {
+		if len(ft) != len(tr.Dims) {
+			return false
+		}
+		ftProd := 1
+		for d, f := range ft {
+			if f < 1 {
+				return false
+			}
+			if f == 1 {
+				continue
+			}
+			dim := tr.Dims[d]
+			if dim.Compound() || dim.Terms[0].Stride != 1 {
+				return false
+			}
+			if ti == len(ps.tensors)-1 {
+				return false // output never takes temporal factors
+			}
+			ftProd *= f
+			a := dim.Terms[0].Axis
+			d1[a] = mathutil.LCM(d1[a], f)
+			m1[a] = mathutil.Max(m1[a], f)
+			// alignment against every rotating (tensor, axis) pair fixed
+			// so far, including this tensor's own earlier dims (Fig 7)
+			for i := range ps.pRotTis {
+				if ps.pRotAxis[i] == a && sharesAxis(ps.missing[ps.pRotTis[i]], ps.missing[ti]) {
+					return false
+				}
+			}
+			ps.pRotTis = append(ps.pRotTis, ti)
+			ps.pRotAxis = append(ps.pRotAxis, a)
+		}
+		if ftProd > 1 && ps.shareP[ti]%ftProd != 0 {
+			return false
+		}
+	}
+	ps.pFts[ti] = ft
+	ps.pDepth = ti + 1
+	ps.pRotLen[ti+1] = len(ps.pRotTis)
+	return true
+}
+
+// Unfix pops the most recently fixed tensor.
+func (ps *PlanSketch) Unfix() {
+	ps.pDepth--
+	n := ps.pRotLen[ps.pDepth]
+	ps.pRotTis = ps.pRotTis[:n]
+	ps.pRotAxis = ps.pRotAxis[:n]
+}
+
+// partialExt fills pExt with the padded prefix extents: the raw
+// sub-operator extents rounded up to the prefix LCM. Every completion's
+// SubLen is at least this (later factors only grow the LCM).
+func (ps *PlanSketch) partialExt() {
+	lcm := ps.pLCM[ps.pDepth]
+	for a := range ps.pExt {
+		ps.pExt[a] = mathutil.RoundUp(ps.pRaw[a], lcm[a])
+	}
+}
+
+// PartialPaddingOK reports whether the prefix can still satisfy the
+// per-axis padding constraint: padding only grows as deeper tensors add
+// factors, so a prefix that already violates it cuts the whole subtree
+// (every leaf would fail the same filter — no candidate is lost).
+func (ps *PlanSketch) PartialPaddingOK(paddingMin float64) bool {
+	ps.partialExt()
+	e := ps.e
+	for a := range e.Axes {
+		padded := ps.pExt[a] * ps.pFop[a]
+		if float64(e.Axes[a].Size)/float64(padded) < paddingMin {
+			return false
+		}
+	}
+	return true
+}
+
+// PartialMemLB returns an admissible lower bound on the per-core memory
+// of every valid completion of the prefix: each fixed tensor's
+// partition priced at the padded prefix extents, plus restMinBytes (the
+// caller's minimum footprint of the remaining tensors), plus the shift
+// buffer when the prefix already rotates.
+func (ps *PlanSketch) PartialMemLB(restMinBytes int64) int64 {
+	ps.partialExt()
+	e := ps.e
+	mem := restMinBytes
+	for ti := 0; ti < ps.pDepth; ti++ {
+		tr := ps.tensors[ti]
+		ft := ps.pFts[ti]
+		elems := int64(1)
+		for d, dim := range tr.Dims {
+			sub := e.DimSize(dim, ps.pExt)
+			f := 1
+			if ft != nil {
+				f = ft[d]
+			}
+			// ceil: the true partition length is an integer ≥ sub/f
+			elems *= int64((sub + f - 1) / f)
+		}
+		mem += elems * elemSize(tr.Elem)
+	}
+	if ps.pRotLen[ps.pDepth] > 0 {
+		mem += ps.shiftBuf
+	}
+	return mem
+}
+
+// PartialTimeLB returns an admissible, predictor-free lower bound on
+// TotalNs for every valid completion: the minimum shift traffic of the
+// tensors fixed so far (steps × tile telescopes to extent × partition
+// bytes, which only grow with padding), the exact all-reduce term (it
+// depends on Fop and the padded extents alone), and the minimum sync
+// count. The compute term is zero — custom cost functions are opaque,
+// so no per-step floor is safe. Scaled down like LowerBoundNs to absorb
+// summation-order rounding.
+func (ps *PlanSketch) PartialTimeLB(spec *device.Spec) float64 {
+	ps.partialExt()
+	e := ps.e
+	max := ps.pMax[ps.pDepth]
+	stepsLB := 1
+	for a := range e.Axes {
+		stepsLB *= max[a]
+	}
+	bw := spec.LinkBytesPerNs()
+	var total float64
+	anyRot := false
+	for a := range e.Axes {
+		if max[a] <= 1 {
+			continue
+		}
+		anyRot = true
+		// Σ over fixed tensors rotating on a of SubLen_a × ∏_{d'≠d} part:
+		// steps_a × tile_a with the ftmax cancelled, bounded from below
+		// at the prefix extents.
+		var bytes int64
+		for ti := 0; ti < ps.pDepth; ti++ {
+			ft := ps.pFts[ti]
+			if ft == nil {
+				continue
+			}
+			tr := ps.tensors[ti]
+			for d, f := range ft {
+				if f <= 1 || tr.Dims[d].Terms[0].Axis != a {
+					continue
+				}
+				rest := int64(1)
+				for d2, dim2 := range tr.Dims {
+					if d2 == d {
+						continue
+					}
+					sub := e.DimSize(dim2, ps.pExt)
+					f2 := ft[d2]
+					rest *= int64((sub + f2 - 1) / f2)
+				}
+				bytes += int64(ps.pExt[a]) * rest * elemSize(tr.Elem)
+			}
+		}
+		total += float64(bytes)/bw + float64(max[a])*spec.ExchangeStartupNs
+	}
+
+	syncs := float64(stepsLB)
+	if anyRot {
+		syncs += float64(stepsLB) // one sync per exchange phase
+	}
+	ar, phases := ps.allReduceFloor(spec, ps.pExt)
+	total += ar
+	syncs += phases
+	total += syncs * spec.SyncNs
+	return total * (1 - 1e-9)
+}
+
+// TensorMinBytes returns an admissible lower bound on tensor ti's
+// per-core partition bytes under the Begin Fop, for any temporal-factor
+// assignment splitting it at most maxSplit ways: the unpadded sub-tensor
+// volume divided by the split, rounded up.
+func (ps *PlanSketch) TensorMinBytes(ti, maxSplit int) int64 {
+	tr := ps.tensors[ti]
+	elems := int64(1)
+	for _, dim := range tr.Dims {
+		elems *= int64(ps.e.DimSize(dim, ps.pRaw))
+	}
+	if maxSplit > 1 {
+		elems = (elems + int64(maxSplit) - 1) / int64(maxSplit)
+	}
+	if elems < 1 {
+		elems = 1
+	}
+	return elems * elemSize(tr.Elem)
 }

@@ -109,6 +109,112 @@ func TestSketchMatchesNewPlan(t *testing.T) {
 	}
 }
 
+// TestPartialBoundsAreAdmissible is the subtree-pruning safety
+// contract: over random (Fop, fts) candidates, fixing the temporal
+// factors one tensor at a time, every prefix's PartialMemLB and
+// PartialTimeLB must bound the completed plan's exact memory and full
+// estimate from below — and a Fix that rejects a prefix implies NewPlan
+// rejects the completion.
+func TestPartialBoundsAreAdmissible(t *testing.T) {
+	cm := newTestCostModel(t)
+	cfg := DefaultConfig()
+	ops := []*expr.Expr{
+		expr.MatMul("mm", 96, 48, 64, dtype.FP16),
+		expr.MatMul("mm-odd", 97, 53, 64, dtype.FP32),
+		expr.Conv2D("conv", 4, 8, 8, 12, 12, 3, 3, 1, dtype.FP16),
+		expr.GatherOp("emb", 64, 500, 32, dtype.FP16),
+		expr.ReduceSum("sum", 64, 96, dtype.FP16),
+		expr.Pool2D("pool", 4, 8, 12, 12, 2, 2, 2, dtype.FP16),
+	}
+	rng := rand.New(rand.NewSource(7))
+	checked, rejected := 0, 0
+	for _, e := range ops {
+		ps := NewPlanSketch(e, cfg)
+		pred := cm.Resolve(e.Name, e.Kind)
+		tensors := e.Tensors()
+		fop := make([]int, len(e.Axes))
+		for iter := 0; iter < 2000; iter++ {
+			for a, ax := range e.Axes {
+				switch rng.Intn(3) {
+				case 0:
+					fop[a] = 1
+				case 1:
+					fop[a] = 1 + rng.Intn(ax.Size)
+				default:
+					fop[a] = []int{1, 2, 3, 4, 8}[rng.Intn(5)]
+				}
+			}
+			fts := randFts(rng, e)
+			// the per-tensor split each completion actually uses, for the
+			// remaining-footprint term
+			splits := make([]int, len(tensors))
+			for ti := range tensors {
+				splits[ti] = 1
+				if fts != nil && fts[ti] != nil {
+					for _, f := range fts[ti] {
+						splits[ti] *= f
+					}
+				}
+			}
+			p, planErr := NewPlan(e, fop, fts, cfg)
+			if !ps.Begin(fop) {
+				if planErr == nil {
+					t.Fatalf("%s: Begin rejected the fop of a NewPlan-valid candidate %v", e.Name, fop)
+				}
+				rejected++
+				continue
+			}
+
+			fixedAll := true
+			var memLBs []int64
+			var timeLBs []float64
+			for ti := range tensors {
+				var ft []int
+				if fts != nil {
+					ft = fts[ti]
+				}
+				if !ps.Fix(ft) {
+					fixedAll = false
+					if planErr == nil {
+						t.Fatalf("%s: Fix rejected tensor %d of a NewPlan-valid candidate (fop=%v fts=%v)",
+							e.Name, ti, fop, fts)
+					}
+					break
+				}
+				var rest int64
+				for tj := ti + 1; tj < len(tensors); tj++ {
+					rest += ps.TensorMinBytes(tj, splits[tj])
+				}
+				memLBs = append(memLBs, ps.PartialMemLB(rest))
+				timeLBs = append(timeLBs, ps.PartialTimeLB(cm.Spec))
+			}
+			if !fixedAll {
+				rejected++
+				continue
+			}
+			if planErr != nil {
+				continue // invalid for other reasons the prefix cannot see
+			}
+			checked++
+			mem := p.MemPerCore()
+			total := p.EstimateWith(cm.Spec, pred).TotalNs
+			for d := range memLBs {
+				if memLBs[d] > mem {
+					t.Fatalf("%s: depth %d mem bound %d exceeds plan mem %d (fop=%v fts=%v)",
+						e.Name, d, memLBs[d], mem, fop, fts)
+				}
+				if timeLBs[d] > total {
+					t.Fatalf("%s: depth %d time bound %g exceeds estimate %g (fop=%v fts=%v)",
+						e.Name, d, timeLBs[d], total, fop, fts)
+				}
+			}
+		}
+	}
+	if checked < 500 || rejected < 500 {
+		t.Fatalf("generator imbalance: %d checked, %d rejected — property undertested", checked, rejected)
+	}
+}
+
 // TestEstimateWithMatchesEstimate pins the pre-resolved-predictor path
 // to the map-lookup path.
 func TestEstimateWithMatchesEstimate(t *testing.T) {

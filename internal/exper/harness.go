@@ -64,6 +64,29 @@ func (h *Harness) t10For(spec *device.Spec) (*t10.Compiler, error) {
 	return c, nil
 }
 
+// t10Exact returns the exact-space-accounting compiler for the search
+// space figures: subtree pruning skips candidates without evaluating
+// them, so Fig 17/18's Filtered column needs the no-prune engine (the
+// selected plans are bit-identical; only the accounting differs). The
+// shared cache keys pruned and exact results separately.
+func (h *Harness) t10Exact(spec *device.Spec) (*t10.Compiler, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := "exact|" + spec.Name
+	if c, ok := h.t10BySpec[key]; ok {
+		return c, nil
+	}
+	opts := t10.DefaultOptions()
+	opts.SharedCache = h.planCache
+	opts.ExactSpaceAccounting = true
+	c, err := t10.New(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	h.t10BySpec[key] = c
+	return c, nil
+}
+
 // CacheStats snapshots the shared plan cache counters.
 func (h *Harness) CacheStats() plancache.Stats { return h.planCache.Stats() }
 

@@ -19,29 +19,32 @@ func benchColdOp() *expr.Expr {
 }
 
 // BenchmarkColdSearch measures one full cold enumeration per iteration
-// (searchOp bypasses every cache layer) in three configurations:
+// (searchOp bypasses every cache layer) in four configurations:
 //
-//	seq    — Workers=1, pruning off: the pre-optimization reference path
-//	par    — Workers=GOMAXPROCS, pruning off: sharding alone
-//	pruned — Workers=GOMAXPROCS, bound-based pruning on: the default
+//	seq     — Workers=1, pruning off: the pre-optimization reference path
+//	par     — Workers=GOMAXPROCS, pruning off: sharding alone
+//	pruned  — leaf-level bound pruning only (the PR2 engine shape)
+//	subtree — subtree cuts + best-first shard order: the default engine
 //
-// All three select bit-identical Pareto plans (TestSearchEquivalence).
+// All four select bit-identical Pareto plans (TestSearchEquivalence).
 // With BENCH_SEARCH_JSON set, each variant records its numbers into that
 // file so the perf trajectory is tracked across PRs (make bench-search).
 func BenchmarkColdSearch(b *testing.B) {
 	variants := []struct {
-		name    string
-		workers int
-		noPrune bool
+		name      string
+		workers   int
+		noPrune   bool
+		noSubtree bool
 	}{
-		{"seq", 1, true},
-		{"par", 0, true},
-		{"pruned", 0, false},
+		{"seq", 1, true, false},
+		{"par", 0, true, false},
+		{"pruned", 0, false, true},
+		{"subtree", 0, false, false},
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
 			s := New(device.IPUMK2(), testCM(), DefaultConstraints(), core.DefaultConfig())
-			s.Workers, s.NoPrune = v.workers, v.noPrune
+			s.Workers, s.NoPrune, s.NoSubtree = v.workers, v.noPrune, v.noSubtree
 			e := benchColdOp()
 			b.ResetTimer()
 			var r *Result
@@ -55,6 +58,7 @@ func BenchmarkColdSearch(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(r.Spaces.Priced), "priced/op")
 			b.ReportMetric(float64(r.Spaces.Pruned), "pruned/op")
+			b.ReportMetric(float64(r.Spaces.CutLeaves), "cut/op")
 			recordBench(b, v.name, r)
 		})
 	}
@@ -78,11 +82,13 @@ func recordBench(b *testing.B, variant string, r *Result) {
 		doc["cold_search"] = cold
 	}
 	cold[variant] = map[string]any{
-		"ns_per_op": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
-		"priced":    r.Spaces.Priced,
-		"pruned":    r.Spaces.Pruned,
-		"filtered":  r.Spaces.Filtered,
-		"pareto":    r.Spaces.Optimized,
+		"ns_per_op":    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		"priced":       r.Spaces.Priced,
+		"pruned":       r.Spaces.Pruned,
+		"cut_subtrees": r.Spaces.CutSubtrees,
+		"cut_leaves":   r.Spaces.CutLeaves,
+		"filtered":     r.Spaces.Filtered,
+		"pareto":       r.Spaces.Optimized,
 	}
 	doc["gomaxprocs"] = runtime.GOMAXPROCS(0)
 	blob, err := json.MarshalIndent(doc, "", "  ")

@@ -12,12 +12,19 @@ import (
 )
 
 // resultFormat versions the on-disk record layout; bump it whenever the
-// encoding (or the meaning of a cached plan) changes, and stale entries
-// simply stop matching.
+// encoding (or the meaning of a cached plan) changes. A record with any
+// other version — older or newer — is a plain cache miss: the search
+// re-runs and overwrites it (never an error, never a silently-wrong
+// hit).
 //
 // v2: Spaces gained Priced/Pruned/TruncatedFtCombos and the ftChoices
 // subsampler changed, so v1 records describe a different search.
-const resultFormat = 2
+//
+// v3: Spaces gained CutSubtrees/CutLeaves (subtree pruning), Filtered
+// became engine-dependent (exact only on the no-prune path, which the
+// fingerprint now separates), and TruncatedFtCombos moved to the
+// deterministic pre-pass.
+const resultFormat = 3
 
 // fingerprint derives the content-addressed cache key for one operator
 // search. It covers everything the search outcome depends on: the
@@ -37,6 +44,11 @@ func (s *Searcher) fingerprint(e *expr.Expr) plancache.Key {
 		fmt.Sprintf("cons|par=%g|pad=%g|ft=%d", s.Cons.ParallelismMin, s.Cons.PaddingMin, s.Cons.MaxFtCombos),
 		fmt.Sprintf("cfg|shiftbuf=%d", s.Cfg.ShiftBufBytes),
 		fmt.Sprintf("keepall=%t", s.KeepAll),
+		// the pruning modes select identical plans but report different
+		// Spaces accounting (exact / leaf-only / subtree-cut), so their
+		// results must not answer each other
+		fmt.Sprintf("noprune=%t", s.NoPrune),
+		fmt.Sprintf("nosubtree=%t", s.NoSubtree),
 		"custom="+custom,
 		e.Signature(),
 	)
@@ -62,6 +74,8 @@ type resultRecord struct {
 	Optimized int               `json:"optimized"`
 	Priced    int               `json:"priced,omitempty"`
 	Pruned    int               `json:"pruned,omitempty"`
+	CutTrees  int               `json:"cut_subtrees,omitempty"`
+	CutLeaves int               `json:"cut_leaves,omitempty"`
 	TruncFt   int               `json:"truncated_ft,omitempty"`
 	ElapsedNs int64             `json:"elapsed_ns"` // original search cost
 }
@@ -83,6 +97,8 @@ func encodeResult(r *Result) ([]byte, error) {
 		Optimized: r.Spaces.Optimized,
 		Priced:    r.Spaces.Priced,
 		Pruned:    r.Spaces.Pruned,
+		CutTrees:  r.Spaces.CutSubtrees,
+		CutLeaves: r.Spaces.CutLeaves,
 		TruncFt:   r.Spaces.TruncatedFtCombos,
 		ElapsedNs: r.Elapsed.Nanoseconds(),
 	}
@@ -139,6 +155,8 @@ func decodeResult(e *expr.Expr, cfg core.Config, blob []byte) (*Result, error) {
 	r.Spaces.Optimized = rec.Optimized
 	r.Spaces.Priced = rec.Priced
 	r.Spaces.Pruned = rec.Pruned
+	r.Spaces.CutSubtrees = rec.CutTrees
+	r.Spaces.CutLeaves = rec.CutLeaves
 	r.Spaces.TruncatedFtCombos = rec.TruncFt
 	if rec.Complete != "" {
 		n, ok := new(big.Int).SetString(rec.Complete, 10)

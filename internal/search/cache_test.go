@@ -1,6 +1,8 @@
 package search
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -167,6 +169,59 @@ func TestCorruptDiskEntryFallsBackToSearch(t *testing.T) {
 	}
 	if _, err := decodeResult(e, s.Cfg, b); err != nil {
 		t.Errorf("overwritten record still corrupt: %v", err)
+	}
+}
+
+// TestStaleVersionRecordIsMissNotError writes plan records with stale
+// (and future) format versions into the disk cache and proves each one
+// is treated as a plain miss: the search re-runs without surfacing an
+// error, returns real plans (not the bogus cached ones) and overwrites
+// the record with the current version.
+func TestStaleVersionRecordIsMissNotError(t *testing.T) {
+	for _, format := range []int{1, 2, resultFormat + 1} {
+		dir := t.TempDir()
+		e := expr.MatMul("mm", 256, 512, 512, dtype.FP16)
+		s := newSearcher()
+		s.SetCache(plancache.New(plancache.Options{Dir: dir}))
+		key := s.fingerprint(e)
+
+		// A decodable record from another era: exactly one bogus plan.
+		// A version check that ignored Format would rehydrate it.
+		stale := fmt.Sprintf(`{"format":%d,"op":"mm","pareto":[{"fop":[1,1,1],"fts":[null,null,null],`+
+			`"est":{"TotalNs":1,"MemPerCore":1}}],"complete":"1","filtered":1,"optimized":1}`, format)
+		if err := s.Cache().PutBlob(key, []byte(stale)); err != nil {
+			t.Fatal(err)
+		}
+
+		r, err := s.SearchOp(e)
+		if err != nil {
+			t.Fatalf("format %d: stale record must be a miss, got error: %v", format, err)
+		}
+		if len(r.Pareto) < 2 || r.Spaces.Filtered <= 1 {
+			t.Fatalf("format %d: got the stale record's content back (pareto %d, filtered %d), want a fresh search",
+				format, len(r.Pareto), r.Spaces.Filtered)
+		}
+
+		files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+		if len(files) != 1 {
+			t.Fatalf("format %d: want 1 cache file, got %v", format, files)
+		}
+		blob, err := os.ReadFile(files[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec struct {
+			Format int `json:"format"`
+		}
+		if err := json.Unmarshal(blob, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Format != resultFormat {
+			t.Fatalf("format %d: record not overwritten, still v%d (want v%d)", format, rec.Format, resultFormat)
+		}
+		if _, err := decodeResult(e, s.Cfg, blob); err != nil {
+			t.Fatalf("format %d: overwritten record does not decode: %v", format, err)
+		}
 	}
 }
 

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -81,10 +84,10 @@ func sameCandidate(a, b *Candidate) bool {
 	return a.Est == b.Est
 }
 
-// TestSearchEquivalence proves the parallel, pruned cold search returns
-// byte-identical Pareto sets (plans and estimates) to the brute-force
-// sequential reference, across operators, worker counts and constraint
-// settings.
+// TestSearchEquivalence proves the parallel, subtree-pruned, best-first
+// cold search returns byte-identical Pareto sets (plans and estimates)
+// to the brute-force sequential reference, across operators, worker
+// counts, pruning modes and constraint settings.
 func TestSearchEquivalence(t *testing.T) {
 	spec := device.IPUMK2().Subset(64)
 	ops := []*expr.Expr{
@@ -100,10 +103,16 @@ func TestSearchEquivalence(t *testing.T) {
 		{ParallelismMin: 0.95, PaddingMin: 0.95, MaxFtCombos: 8},
 	}
 	type variant struct {
-		workers int
-		noPrune bool
+		workers   int
+		noPrune   bool
+		noSubtree bool
 	}
-	variants := []variant{{1, false}, {4, false}, {8, true}}
+	variants := []variant{
+		{1, false, false}, // the default engine, sequential
+		{4, false, false}, // the default engine, parallel
+		{2, false, true},  // leaf-level pruning only (the PR2 shape)
+		{8, true, false},  // no pruning: exact space accounting
+	}
 
 	for _, e := range ops {
 		for ci, cons := range settings {
@@ -114,14 +123,32 @@ func TestSearchEquivalence(t *testing.T) {
 			}
 			var wantTrunc *int
 			for _, v := range variants {
-				name := fmt.Sprintf("%s/cons%d/w%d/noprune=%t", e.Name, ci, v.workers, v.noPrune)
-				s.Workers, s.NoPrune = v.workers, v.noPrune
+				name := fmt.Sprintf("%s/cons%d/w%d/noprune=%t/nosubtree=%t",
+					e.Name, ci, v.workers, v.noPrune, v.noSubtree)
+				s.Workers, s.NoPrune, s.NoSubtree = v.workers, v.noPrune, v.noSubtree
 				r, err := s.searchOp(e)
 				if err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}
-				if r.Spaces.Filtered != wantFiltered {
-					t.Errorf("%s: filtered = %d, want %d", name, r.Spaces.Filtered, wantFiltered)
+				if v.noPrune || v.noSubtree {
+					// every leaf is individually evaluated: exact count
+					if r.Spaces.Filtered != wantFiltered {
+						t.Errorf("%s: filtered = %d, want %d", name, r.Spaces.Filtered, wantFiltered)
+					}
+					if r.Spaces.CutSubtrees != 0 || r.Spaces.CutLeaves != 0 {
+						t.Errorf("%s: cut %d subtrees / %d leaves without subtree pruning",
+							name, r.Spaces.CutSubtrees, r.Spaces.CutLeaves)
+					}
+				} else {
+					// subtree cuts skip leaves before the filters run, so
+					// Filtered undercounts by at most the cut leaves
+					if r.Spaces.Filtered > wantFiltered {
+						t.Errorf("%s: filtered = %d exceeds reference %d", name, r.Spaces.Filtered, wantFiltered)
+					}
+					if missing := wantFiltered - r.Spaces.Filtered; missing > r.Spaces.CutLeaves {
+						t.Errorf("%s: %d filtered candidates unaccounted for (cut leaves %d)",
+							name, missing, r.Spaces.CutLeaves)
+					}
 				}
 				if r.Spaces.Priced+r.Spaces.Pruned != r.Spaces.Filtered {
 					t.Errorf("%s: priced %d + pruned %d != filtered %d",
@@ -204,6 +231,91 @@ func TestFrontierDominatedIsSafe(t *testing.T) {
 				}
 			} else {
 				f.Insert(c)
+			}
+		}
+	}
+}
+
+// TestFrontierTieBreakDeterministicAcrossWorkers seeds candidate sets
+// with exact (MemPerCore, TotalNs) duplicates, runs them through the
+// engine's parallel protocol — shards processed in scrambled order by
+// concurrent workers against the shared advisory frontier, survivors
+// merged in enumeration order — and checks the selected candidates
+// (identified by their enumeration tag) match the sequential reference
+// at every worker count: an exact tie is always won by the
+// first-enumerated candidate, never by whoever priced first.
+func TestFrontierTieBreakDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		n := 20 + rng.Intn(80)
+		all := make([]Candidate, n)
+		for i := range all {
+			all[i].Est.MemPerCore = int64(100 + rng.Intn(6))
+			all[i].Est.TotalNs = float64(10 + rng.Intn(6))
+			all[i].Est.Steps = i // identity tag: enumeration index
+		}
+		// seed exact duplicates across the enumeration
+		for k := 0; k < n/3; k++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			all[dst].Est.MemPerCore = all[src].Est.MemPerCore
+			all[dst].Est.TotalNs = all[src].Est.TotalNs
+		}
+		want := paretoFront(all)
+
+		// contiguous shards, like the Fop shards of the real search
+		nShards := 1 + rng.Intn(8)
+		bounds := make([]int, nShards+1)
+		bounds[nShards] = n
+		for i := 1; i < nShards; i++ {
+			bounds[i] = rng.Intn(n + 1)
+		}
+		sort.Ints(bounds)
+		order := rng.Perm(nShards) // scrambled processing order
+
+		for _, workers := range []int{1, 2, 4, 8} {
+			pf := &pruneFrontier{}
+			shards := make([][]Candidate, nShards)
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= nShards {
+							return
+						}
+						si := order[i]
+						for _, c := range all[bounds[si]:bounds[si+1]] {
+							// admissible bound strictly below the exact
+							// time, as the sketch guarantees
+							if pf.dominated(c.Est.MemPerCore, c.Est.TotalNs*(1-1e-9)) {
+								continue
+							}
+							shards[si] = append(shards[si], c)
+							pf.add(c)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
+			var front Frontier
+			for si := range shards {
+				for _, c := range shards[si] {
+					front.Insert(c)
+				}
+			}
+			got := front.Candidates()
+			if len(got) != len(want) {
+				t.Fatalf("trial %d workers %d: frontier size %d, want %d", trial, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Est != want[i].Est {
+					t.Fatalf("trial %d workers %d: entry %d = %+v, want %+v (tags are enum indices)",
+						trial, workers, i, got[i].Est, want[i].Est)
+				}
 			}
 		}
 	}

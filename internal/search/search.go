@@ -11,19 +11,25 @@
 // at most a few thousand candidates, and the cost model reduces those to
 // a few dozen Pareto-optimal plans.
 //
-// The cold path is a parallel, pruning search engine: the Fop
-// enumeration shards across a bounded worker pool, each candidate first
-// passes a cheap sketch phase (core.PlanSketch: exact memory, padded
-// extents and an admissible lower bound on TotalNs without building
-// rotation state), and candidates whose (memory, bound) pair is already
-// dominated by the running Pareto frontier are skipped before
-// core.NewPlan or the full estimate ever run. A deterministic merge
-// keeps the selected Pareto set bit-identical to the sequential,
-// unpruned enumeration at every worker count.
+// The cold path is a parallel, pruning search engine. Fop shards are
+// processed best-first (highest achievable parallelism first, so the
+// Pareto frontier warms with fast plans) by a pool that draws helper
+// slots from a compile-wide budget (internal/sema), and the
+// temporal-factor recursion itself is pruned: a partial assignment's
+// admissible lower bounds on per-core memory and TotalNs
+// (core.PlanSketch's incremental form) cut whole subtrees against the
+// streaming frontier before the deeper tensors are enumerated. Each
+// surviving candidate then passes the cheap full-sketch phase (exact
+// memory, padded extents, a TotalNs lower bound) before core.NewPlan or
+// the full estimate run, and every distinct kernel task is priced by
+// the cost model exactly once per worker. A deterministic merge keeps
+// the selected Pareto set bit-identical to the sequential, unpruned
+// enumeration at every worker count.
 package search
 
 import (
 	"fmt"
+	"math"
 	"math/big"
 	"runtime"
 	"sort"
@@ -35,8 +41,10 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/device"
 	"repro/internal/expr"
+	"repro/internal/kernel"
 	"repro/internal/mathutil"
 	"repro/internal/plancache"
+	"repro/internal/sema"
 )
 
 // Constraints are the user-configurable plan filters of §4.3.1.
@@ -70,9 +78,13 @@ type Spaces struct {
 	// which is the paper's point.
 	Complete *big.Int
 
-	// Filtered is the number of plans that survived the rule-based
-	// constraints (valid partition, padding ratio, per-core memory).
-	// Deterministic across worker counts and pruning settings.
+	// Filtered is the number of individually evaluated plans that
+	// survived the rule-based constraints (valid partition, padding
+	// ratio, per-core memory). With pruning disabled (NoPrune or
+	// KeepAll) it is the exact, deterministic rule-based count of Fig 18;
+	// with subtree pruning on, candidates inside cut subtrees are never
+	// evaluated, so Filtered undercounts by the valid fraction of
+	// CutLeaves (it is exact about everything that was examined).
 	Filtered int
 
 	// Optimized is the number of Pareto-optimal plans kept.
@@ -87,10 +99,22 @@ type Spaces struct {
 	Priced int
 	Pruned int
 
+	// CutSubtrees counts the partial temporal-factor assignments whose
+	// admissible (memory, time) lower bounds were already dominated by
+	// the running frontier, cutting the recursion before the deeper
+	// tensors were enumerated; CutLeaves is the number of complete
+	// assignments skipped inside those subtrees (valid or not — they
+	// were never evaluated). Schedule-dependent, like the Priced/Pruned
+	// split; the Pareto set is not.
+	CutSubtrees int
+	CutLeaves   int
+
 	// TruncatedFtCombos counts the per-tensor temporal-factor
 	// enumerations that hit a cap (the MaxFtCombos subsample or the
 	// internal hard cap), summed over all Fop candidates — surfaced so a
-	// capped search is never silent. Deterministic.
+	// capped search is never silent. Deterministic: it is computed in a
+	// sequential pre-pass over the shared temporal-factor table, before
+	// any pruning or scheduling can hide a capped enumeration.
 	TruncatedFtCombos int
 }
 
@@ -150,9 +174,23 @@ type Searcher struct {
 	// split).
 	Workers int
 
-	// NoPrune disables bound-based pruning, pricing every filtered
-	// candidate (the reference path; KeepAll implies it).
+	// NoPrune disables bound-based pruning (leaf and subtree) and the
+	// best-first shard order, pricing every filtered candidate in
+	// enumeration order — the reference path, on which Spaces.Filtered
+	// is the exact rule-based count (KeepAll implies it).
 	NoPrune bool
+
+	// NoSubtree keeps leaf-level bound pruning but disables the
+	// partial-assignment subtree cuts — the engine shape of the
+	// `pruned` benchmark variant, kept for A/B comparison.
+	NoSubtree bool
+
+	// Pool, when non-nil, is the compile-wide worker budget this
+	// searcher shares with t10.CompileModel: helper goroutines for Fop
+	// sharding (and the complete-space estimator) are spawned only when
+	// a slot is free, so the nested pools never exceed the budget. When
+	// nil, each cold search gets a private budget of Workers-1 helpers.
+	Pool *sema.Sem
 
 	cache *plancache.Cache
 
@@ -249,10 +287,11 @@ func (s *Searcher) lookupOrSearch(key plancache.Key, e *expr.Expr) (*Result, err
 // disjoint shards; the merge reads them in enumeration order, so the
 // outcome is independent of pool scheduling.
 type fopShard struct {
-	cands     []Candidate
-	filtered  int
-	pruned    int
-	truncated int
+	cands       []Candidate
+	filtered    int
+	pruned      int
+	cutSubtrees int
+	cutLeaves   int
 }
 
 // searchOp runs the actual enumeration (§4.3.1), bypassing every cache
@@ -261,46 +300,83 @@ func (s *Searcher) searchOp(e *expr.Expr) (*Result, error) {
 	start := time.Now()
 	r := &Result{Op: e.Name}
 
-	// The complete-space estimator is independent of the enumeration;
-	// overlap it with the workers.
-	completeCh := make(chan *big.Int, 1)
-	go func() { completeCh <- s.CompleteSpace(e) }()
-
 	fops := s.enumerateFops(e)
 	if len(fops) == 0 {
 		return nil, fmt.Errorf("search %s: no operator partition passes the constraints", e.Name)
 	}
+
+	// Worker budget: the shared compile-wide semaphore, or a private
+	// one for standalone searchers. The calling goroutine is always the
+	// first worker, so a contended budget degrades to sequential. The
+	// private budget carries one slot beyond the Workers-1 helpers so
+	// the complete-space estimator still overlaps the enumeration (on
+	// the shared budget it must not outrank anyone's search helpers).
+	pool := s.Pool
+	if pool == nil {
+		pool = sema.New(s.searchWorkers(len(fops)))
+	}
+
+	// Sequential pre-pass: one shared, read-only temporal-factor table
+	// for all workers (distinct Fops repeat the same (tensor, sharing
+	// degree) pairs constantly), with the truncation count fixed
+	// deterministically before pruning can skip any enumeration.
+	table, truncated := s.buildFtTable(e, fops)
+	r.Spaces.TruncatedFtCombos = truncated
 
 	pred := s.CM.Resolve(e.Name, e.Kind)
 	var pf *pruneFrontier
 	if !s.KeepAll && !s.NoPrune {
 		pf = &pruneFrontier{}
 	}
+	// Best-first shard order: the shards most likely to hold fast plans
+	// first, so the frontier warms with low-time entries and later
+	// shards prune harder. Shards stay indexed by enumeration position,
+	// so the merge below is independent of the processing order. The
+	// ordering pass's predictions seed every worker's task memo, so they
+	// are never re-predicted.
+	seed := make(map[kernel.Task]float64)
+	order := s.shardOrder(e, fops, memoPredictor(seed, pred), pf != nil)
 	shards := make([]fopShard, len(fops))
 	var next atomic.Int64
 	work := func() {
-		w := newSearchWorker(s, e, pred)
+		w := newSearchWorker(s, e, pred, table, seed)
 		for {
 			i := int(next.Add(1)) - 1
-			if i >= len(fops) {
+			if i >= len(order) {
 				return
 			}
-			w.processFop(fops[i], &shards[i], pf)
+			oi := order[i]
+			w.processFop(fops[oi], &shards[oi], pf)
 		}
 	}
-	if workers := s.searchWorkers(len(fops)); workers <= 1 {
-		work()
-	} else {
-		var wg sync.WaitGroup
-		for n := 0; n < workers; n++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				work()
-			}()
-		}
-		wg.Wait()
+	var wg sync.WaitGroup
+	for n := s.searchWorkers(len(fops)); n > 1 && pool.TryAcquire(1); n-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer pool.Release(1)
+			pool.Enter()
+			defer pool.Exit()
+			work()
+		}()
 	}
+	// The complete-space estimator is independent of the enumeration;
+	// overlap it with the workers when a slot is left over (it must not
+	// outrank a search helper — on a Workers=2 budget it would otherwise
+	// cost the whole search its only helper), else compute it inline at
+	// the end.
+	var completeCh chan *big.Int
+	if pool.TryAcquire(1) {
+		completeCh = make(chan *big.Int, 1)
+		go func() {
+			defer pool.Release(1) // after Exit: live until released
+			pool.Enter()
+			defer pool.Exit()
+			completeCh <- s.CompleteSpace(e)
+		}()
+	}
+	work()
+	wg.Wait()
 
 	// Deterministic merge: stream every shard's candidates into the
 	// frontier in enumeration order — exactly the order the sequential
@@ -311,7 +387,8 @@ func (s *Searcher) searchOp(e *expr.Expr) (*Result, error) {
 		r.Spaces.Filtered += sh.filtered
 		r.Spaces.Priced += len(sh.cands)
 		r.Spaces.Pruned += sh.pruned
-		r.Spaces.TruncatedFtCombos += sh.truncated
+		r.Spaces.CutSubtrees += sh.cutSubtrees
+		r.Spaces.CutLeaves += sh.cutLeaves
 		for j := range sh.cands {
 			front.Insert(sh.cands[j])
 		}
@@ -324,9 +401,105 @@ func (s *Searcher) searchOp(e *expr.Expr) (*Result, error) {
 	}
 	r.Pareto = front.Candidates()
 	r.Spaces.Optimized = len(r.Pareto)
-	r.Spaces.Complete = <-completeCh
+	if completeCh != nil {
+		r.Spaces.Complete = <-completeCh
+	} else {
+		r.Spaces.Complete = s.CompleteSpace(e)
+	}
 	r.Elapsed = time.Since(start)
 	return r, nil
+}
+
+// shardOrder returns the processing order of the Fop shards: identity
+// for the reference path, best-first when pruning is on. Best-first
+// means highest achievable compute parallelism first (PlanSketch.Cores
+// — more cores, faster plans), and within a parallelism tier the shard
+// whose replicated (no temporal factor) candidate sketches the lowest
+// time bound: that candidate is each shard's fastest, so pricing it
+// early gives the frontier its low-time entries while the other shards
+// are still queued. One sketch per shard prices the key; remaining
+// ties keep enumeration order, so the schedule is reproducible.
+func (s *Searcher) shardOrder(e *expr.Expr, fops [][]int, pred costmodel.Predictor, bestFirst bool) []int {
+	order := make([]int, len(fops))
+	for i := range order {
+		order[i] = i
+	}
+	if !bestFirst {
+		return order
+	}
+	cores := make([]int, len(fops))
+	bound := make([]float64, len(fops))
+	sketch := core.NewPlanSketch(e, s.Cfg)
+	for i, fop := range fops {
+		cores[i] = mathutil.Prod(fop...)
+		if sketch.Compute(fop, nil) {
+			bound[i] = sketch.LowerBoundNs(s.CM.Spec, pred)
+		} else {
+			bound[i] = math.Inf(1)
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if cores[order[i]] != cores[order[j]] {
+			return cores[order[i]] > cores[order[j]]
+		}
+		return bound[order[i]] < bound[order[j]]
+	})
+	return order
+}
+
+// ftTable is the per-search read-only temporal-factor table: one
+// ftChoices outcome per (tensor, sharing degree) pair, shared by all
+// workers.
+type ftTable struct {
+	sets []map[int]ftChoiceSet // per tensor: sharing degree → choices
+}
+
+// tensorShare returns the sharing degree of tensor tr under fop.
+func tensorShare(e *expr.Expr, tr expr.TensorRef, fop []int) int {
+	share := 1
+	for a := range e.Axes {
+		if fop[a] > 1 && !expr.ContainsAxis(tr, a) {
+			share *= fop[a]
+		}
+	}
+	return share
+}
+
+// buildFtTable enumerates the temporal-factor choices for every
+// (tensor, sharing degree) pair the Fop candidates produce, and counts
+// the capped enumerations exactly as the sequential path encounters
+// them (per Fop per tensor).
+func (s *Searcher) buildFtTable(e *expr.Expr, fops [][]int) (*ftTable, int) {
+	tensors := e.Tensors()
+	t := &ftTable{sets: make([]map[int]ftChoiceSet, len(tensors))}
+	for ti := range t.sets {
+		t.sets[ti] = make(map[int]ftChoiceSet)
+	}
+	truncated := 0
+	for _, fop := range fops {
+		for ti, tr := range tensors {
+			if ti == len(tensors)-1 {
+				continue // output never takes temporal factors
+			}
+			share := tensorShare(e, tr, fop)
+			cs, ok := t.sets[ti][share]
+			if !ok {
+				combos, trunc := s.ftChoices(tr, share)
+				maxProd := 1
+				for _, c := range combos {
+					if p := mathutil.Prod(c...); p > maxProd {
+						maxProd = p
+					}
+				}
+				cs = ftChoiceSet{combos: combos, truncated: trunc, maxProd: maxProd}
+				t.sets[ti][share] = cs
+			}
+			if cs.truncated {
+				truncated++
+			}
+		}
+	}
+	return t, truncated
 }
 
 // searchWorkers returns the Fop shard pool width for n partition
@@ -340,41 +513,69 @@ func (s *Searcher) searchWorkers(n int) int {
 }
 
 // searchWorker holds one goroutine's scratch state: the plan sketch,
-// the temporal-factor choice memo and the reusable combination buffers —
-// nothing here allocates per candidate.
+// the shared temporal-factor table, the kernel-task prediction memo and
+// the reusable combination buffers — nothing here allocates per
+// candidate.
 type searchWorker struct {
 	s       *Searcher
 	e       *expr.Expr
 	tensors []expr.TensorRef
-	pred    costmodel.Predictor
 	sketch  *core.PlanSketch
+	table   *ftTable
 
-	perTensor [][][]int
-	fts       [][]int
-	// ftMemo caches ftChoices per tensor by sharing degree: distinct
-	// Fops repeat the same (tensor, share) pairs constantly.
-	ftMemo []map[int]ftChoiceSet
+	// memoPred wraps the resolved predictor with a per-worker memo
+	// keyed by the kernel task, so each distinct task is predicted
+	// exactly once: the sketch's lower-bound prediction is what pricing
+	// reuses (the sketch and the plan derive the identical task from
+	// the same padded extents and step counts). Custom cost functions
+	// must therefore be deterministic.
+	memoPred costmodel.Predictor
+	taskMemo map[kernel.Task]float64
+
+	perTensor  [][][]int
+	fts        [][]int
+	restMin    []int64 // restMin[ti]: min footprint of tensors ti.. under the current Fop
+	leavesFrom []int   // leavesFrom[ti]: complete assignments below a fixed tensor ti
 }
 
-// ftChoiceSet is one memoized ftChoices outcome.
+// ftChoiceSet is one temporal-factor table entry.
 type ftChoiceSet struct {
 	combos    [][]int
 	truncated bool
+	maxProd   int // max ∏ft over combos, for the remaining-footprint bound
 }
 
-func newSearchWorker(s *Searcher, e *expr.Expr, pred costmodel.Predictor) *searchWorker {
+func newSearchWorker(s *Searcher, e *expr.Expr, pred costmodel.Predictor, table *ftTable, seed map[kernel.Task]float64) *searchWorker {
 	tensors := e.Tensors()
 	w := &searchWorker{
-		s: s, e: e, tensors: tensors, pred: pred,
-		sketch:    core.NewPlanSketch(e, s.Cfg),
-		perTensor: make([][][]int, len(tensors)),
-		fts:       make([][]int, len(tensors)),
-		ftMemo:    make([]map[int]ftChoiceSet, len(tensors)),
+		s: s, e: e, tensors: tensors, table: table,
+		taskMemo:   make(map[kernel.Task]float64, len(seed)),
+		sketch:     core.NewPlanSketch(e, s.Cfg),
+		perTensor:  make([][][]int, len(tensors)),
+		fts:        make([][]int, len(tensors)),
+		restMin:    make([]int64, len(tensors)+1),
+		leavesFrom: make([]int, len(tensors)),
 	}
-	for ti := range w.ftMemo {
-		w.ftMemo[ti] = make(map[int]ftChoiceSet)
+	for task, ns := range seed {
+		w.taskMemo[task] = ns
 	}
+	w.memoPred = memoPredictor(w.taskMemo, pred)
 	return w
+}
+
+// memoPredictor wraps a predictor with a single-goroutine memo keyed by
+// the kernel task. Custom cost functions must therefore be
+// deterministic; the memo guarantees identical floats for identical
+// tasks, which the bit-identical plan selection relies on.
+func memoPredictor(memo map[kernel.Task]float64, pred costmodel.Predictor) costmodel.Predictor {
+	return func(t kernel.Task) float64 {
+		if ns, ok := memo[t]; ok {
+			return ns
+		}
+		ns := pred(t)
+		memo[t] = ns
+		return ns
+	}
 }
 
 // ftNoSplit is the single "no temporal partitioning" choice, shared
@@ -382,29 +583,59 @@ func newSearchWorker(s *Searcher, e *expr.Expr, pred costmodel.Predictor) *searc
 var ftNoSplit = [][]int{nil}
 
 // processFop enumerates and evaluates every temporal-factor assignment
-// under one Fop. The output tensor never takes temporal factors.
+// under one Fop. The output tensor never takes temporal factors. The
+// recursion fixes one tensor's factors at a time on the incremental
+// sketch, and cuts the subtree below a prefix when
+//
+//   - the prefix is invalid for every completion, or the padded prefix
+//     already violates the padding constraint, or its memory lower
+//     bound exceeds core memory (all deterministic: the skipped leaves
+//     could never have passed the filters), or
+//   - the prefix's admissible (memory, time) lower bounds are already
+//     dominated by the running frontier (counted in CutSubtrees /
+//     CutLeaves: those leaves could never have entered the Pareto set).
 func (w *searchWorker) processFop(fop []int, out *fopShard, pf *pruneFrontier) {
+	s := w.s
+	last := len(w.tensors) - 1
 	for ti, tr := range w.tensors {
-		if ti == len(w.tensors)-1 {
+		if ti == last {
 			w.perTensor[ti] = ftNoSplit
 			continue
 		}
-		share := 1
-		for a := range w.e.Axes {
-			if fop[a] > 1 && !expr.ContainsAxis(tr, a) {
-				share *= fop[a]
-			}
+		w.perTensor[ti] = w.table.sets[ti][tensorShare(w.e, tr, fop)].combos
+	}
+	if !w.sketch.Begin(fop) {
+		return
+	}
+	// Remaining-footprint suffix sums and subtree leaf counts for this
+	// Fop: restMin is the admissible minimum per-core footprint of the
+	// not-yet-fixed tensors, leavesFrom sizes the subtree a cut skips.
+	w.restMin[len(w.tensors)] = 0
+	leaves := 1
+	for ti := last; ti >= 0; ti-- {
+		maxSplit := 1
+		if ti != last {
+			maxSplit = w.table.sets[ti][tensorShare(w.e, w.tensors[ti], fop)].maxProd
 		}
-		cs, ok := w.ftMemo[ti][share]
-		if !ok {
-			combos, truncated := w.s.ftChoices(tr, share)
-			cs = ftChoiceSet{combos: combos, truncated: truncated}
-			w.ftMemo[ti][share] = cs
+		w.restMin[ti] = w.restMin[ti+1] + w.sketch.TensorMinBytes(ti, maxSplit)
+		w.leavesFrom[ti] = leaves
+		leaves *= len(w.perTensor[ti])
+	}
+
+	subtree := !s.NoSubtree
+	coreMem := int64(s.Spec.CoreMemBytes)
+	if subtree && leaves > 1 {
+		// Fop-level bound: the empty prefix already prices the minimum
+		// footprint of every tensor and the all-reduce/sync floor.
+		memLB := w.sketch.PartialMemLB(w.restMin[0])
+		if memLB > coreMem {
+			return // every assignment exceeds core memory
 		}
-		if cs.truncated {
-			out.truncated++
+		if pf != nil && pf.dominated(memLB, w.sketch.PartialTimeLB(s.CM.Spec)) {
+			out.cutSubtrees++
+			out.cutLeaves += leaves
+			return
 		}
-		w.perTensor[ti] = cs.combos
 	}
 	var rec func(ti int)
 	rec = func(ti int) {
@@ -414,14 +645,40 @@ func (w *searchWorker) processFop(fop []int, out *fopShard, pf *pruneFrontier) {
 		}
 		for _, choice := range w.perTensor[ti] {
 			w.fts[ti] = choice
+			if !w.sketch.Fix(choice) {
+				continue // invalid for every completion; nothing enters Filtered
+			}
+			// Bound the subtree only when it holds more than one leaf —
+			// at the innermost tensors the full sketch is both cheaper
+			// and tighter.
+			if subtree && w.leavesFrom[ti] > 1 {
+				if !w.sketch.PartialPaddingOK(s.Cons.PaddingMin) {
+					w.sketch.Unfix()
+					continue // every leaf fails the padding filter
+				}
+				memLB := w.sketch.PartialMemLB(w.restMin[ti+1])
+				if memLB > coreMem {
+					w.sketch.Unfix()
+					continue // every leaf fails the memory filter
+				}
+				if pf != nil && pf.dominated(memLB, w.sketch.PartialTimeLB(s.CM.Spec)) {
+					out.cutSubtrees++
+					out.cutLeaves += w.leavesFrom[ti]
+					w.sketch.Unfix()
+					continue
+				}
+			}
 			rec(ti + 1)
+			w.sketch.Unfix()
 		}
 	}
 	rec(0)
 }
 
 // consider evaluates one (Fop, fts) candidate: sketch first, full plan
-// and estimate only if the sketch survives the frontier bound.
+// and estimate only if the sketch survives the frontier bound. The
+// estimate reuses the sketch's per-step prediction through the task
+// memo, so no kernel task is priced twice.
 func (w *searchWorker) consider(fop []int, out *fopShard, pf *pruneFrontier) {
 	s := w.s
 	if !w.sketch.Compute(fop, w.fts) {
@@ -435,7 +692,7 @@ func (w *searchWorker) consider(fop []int, out *fopShard, pf *pruneFrontier) {
 	}
 	out.filtered++
 	if pf != nil {
-		lb := w.sketch.LowerBoundNs(s.CM.Spec, w.pred)
+		lb := w.sketch.LowerBoundNs(s.CM.Spec, w.memoPred)
 		if pf.dominated(w.sketch.MemPerCore, lb) {
 			out.pruned++
 			return
@@ -447,7 +704,7 @@ func (w *searchWorker) consider(fop []int, out *fopShard, pf *pruneFrontier) {
 		// skipping keeps the search robust if they ever drift
 		return
 	}
-	c := Candidate{Plan: p, Est: p.EstimateWith(s.CM.Spec, w.pred)}
+	c := Candidate{Plan: p, Est: p.EstimateWith(s.CM.Spec, w.memoPred)}
 	out.cands = append(out.cands, c)
 	if pf != nil {
 		pf.add(c)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/dtype"
 	"repro/internal/expr"
+	"repro/internal/kernel"
 )
 
 var (
@@ -234,6 +235,38 @@ func TestBinomial(t *testing.T) {
 	for _, c := range cases {
 		if got := binomial(c.n, c.k); got != c.want {
 			t.Errorf("binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+// TestKernelTaskPredictedOnce pins the sketch→price threading: one cold
+// search must evaluate the cost predictor exactly once per distinct
+// kernel task. Before the per-worker task memo, every priced candidate
+// predicted its task twice — once in PlanSketch.LowerBoundNs and again
+// in Plan.EstimateWith.
+func TestKernelTaskPredictedOnce(t *testing.T) {
+	s := New(device.IPUMK2().Subset(64), testCM(), DefaultConstraints(), core.DefaultConfig())
+	s.Workers = 1 // one worker, one memo: global counts must all be 1
+	counts := make(map[kernel.Task]int)
+	s.CM.RegisterCustom("mm-predcount", func(task kernel.Task) float64 {
+		counts[task]++
+		return float64(task.M)*float64(task.N)*float64(task.K)*1e-3 +
+			float64(task.InBytes+task.OutBytes)*1e-4 + 5
+	})
+	e := expr.MatMul("mm-predcount", 128, 128, 128, dtype.FP16)
+	r, err := s.searchOp(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spaces.Priced == 0 || r.Spaces.Pruned == 0 {
+		t.Fatalf("want both priced and pruned candidates to exercise both paths, got %+v", r.Spaces)
+	}
+	if len(counts) == 0 {
+		t.Fatal("custom predictor never called")
+	}
+	for task, n := range counts {
+		if n != 1 {
+			t.Fatalf("task %+v predicted %d times, want exactly once", task, n)
 		}
 	}
 }

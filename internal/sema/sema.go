@@ -1,0 +1,124 @@
+// Package sema provides the compile-wide worker budget: a weighted
+// counting semaphore shared by every worker pool of one compilation.
+//
+// CompileModel fans unique operators out to a pool, and each cold
+// intra-operator search fans its Fop shards out to another — naively
+// nested, that is up to Workers² live goroutines. Instead, both layers
+// draw helper slots from one Sem sized Workers-1: the calling goroutine
+// is always the first worker (so progress never blocks on the budget),
+// and extra workers are spawned only while TryAcquire succeeds. Because
+// an inner pool's caller is an outer pool's worker, the total number of
+// live worker goroutines across all nesting levels never exceeds
+// 1 + capacity = Workers.
+//
+// Acquisition is deliberately non-blocking: a blocking acquire from a
+// goroutine that already holds a slot deadlocks a nested pool, while
+// opportunistic spawning degrades gracefully to the caller doing all
+// the work itself.
+package sema
+
+import "sync"
+
+// Sem is the weighted semaphore plus worker-count instrumentation.
+// The zero Sem has capacity zero (every TryAcquire fails); use New.
+type Sem struct {
+	mu      sync.Mutex
+	cap     int
+	inUse   int
+	running int
+	peak    int
+}
+
+// New returns a semaphore with the given helper capacity. Negative
+// capacities clamp to zero (a Workers=1 budget spawns no helpers).
+func New(capacity int) *Sem {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Sem{cap: capacity}
+}
+
+// Cap returns the helper capacity.
+func (s *Sem) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return s.cap
+}
+
+// TryAcquire reserves n slots if they are all free right now, without
+// blocking. A nil Sem always refuses (the degenerate sequential budget).
+func (s *Sem) TryAcquire(n int) bool {
+	if s == nil || n <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inUse+n > s.cap {
+		return false
+	}
+	s.inUse += n
+	return true
+}
+
+// Release returns n slots.
+func (s *Sem) Release(n int) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inUse -= n
+	if s.inUse < 0 {
+		panic("sema: release without acquire")
+	}
+}
+
+// InUse returns the slots currently held.
+func (s *Sem) InUse() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inUse
+}
+
+// Enter brackets the start of one worker's run loop — the pool's
+// calling goroutine as well as every slot-holding helper — so Peak
+// reports the true number of concurrently live workers, which the
+// budget tests assert never exceeds Workers.
+func (s *Sem) Enter() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.running++
+	if s.running > s.peak {
+		s.peak = s.running
+	}
+	s.mu.Unlock()
+}
+
+// Exit brackets the end of one worker's run loop.
+func (s *Sem) Exit() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.running--
+	if s.running < 0 {
+		panic("sema: exit without enter")
+	}
+	s.mu.Unlock()
+}
+
+// Peak returns the maximum number of workers ever live at once.
+func (s *Sem) Peak() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peak
+}

@@ -1,0 +1,101 @@
+package sema
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestTryAcquireRespectsCapacity(t *testing.T) {
+	s := New(2)
+	if !s.TryAcquire(1) || !s.TryAcquire(1) {
+		t.Fatal("two unit acquires must fit in capacity 2")
+	}
+	if s.TryAcquire(1) {
+		t.Fatal("third acquire must fail")
+	}
+	s.Release(1)
+	if !s.TryAcquire(1) {
+		t.Fatal("acquire after release must succeed")
+	}
+	s.Release(2)
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after releasing everything", got)
+	}
+}
+
+func TestWeightedAcquire(t *testing.T) {
+	s := New(3)
+	if s.TryAcquire(4) {
+		t.Fatal("over-capacity weighted acquire must fail")
+	}
+	if !s.TryAcquire(3) {
+		t.Fatal("exact-capacity weighted acquire must succeed")
+	}
+	if s.TryAcquire(1) {
+		t.Fatal("no slots left")
+	}
+	s.Release(3)
+}
+
+func TestZeroAndNil(t *testing.T) {
+	s := New(-5)
+	if s.Cap() != 0 || s.TryAcquire(1) {
+		t.Fatal("negative capacity must clamp to zero")
+	}
+	var nilSem *Sem
+	if nilSem.TryAcquire(1) || nilSem.Cap() != 0 || nilSem.Peak() != 0 {
+		t.Fatal("nil Sem must behave as a zero-capacity budget")
+	}
+	nilSem.Enter()
+	nilSem.Exit()
+	nilSem.Release(1)
+}
+
+func TestPeakTracksConcurrentWorkers(t *testing.T) {
+	s := New(4)
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Enter()
+			<-gate
+			s.Exit()
+		}()
+	}
+	// wait until all three are inside
+	for s.Peak() < 3 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if got := s.Peak(); got != 3 {
+		t.Fatalf("Peak = %d, want 3", got)
+	}
+}
+
+func TestConcurrentAcquireNeverOversubscribes(t *testing.T) {
+	const cap = 5
+	s := New(cap)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if s.TryAcquire(1) {
+					if n := s.InUse(); n > cap {
+						t.Errorf("InUse = %d exceeds capacity %d", n, cap)
+					}
+					s.Release(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after all releases", got)
+	}
+}

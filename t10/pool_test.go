@@ -1,0 +1,62 @@
+package t10
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+	"repro/internal/models"
+)
+
+// TestCompileWorkerBudget instruments the compile-wide semaphore: no
+// matter how CompileModel's per-operator pool and the cold searches'
+// Fop shards (and complete-space estimators) nest, the number of live
+// worker goroutines must never exceed Opts.Workers.
+func TestCompileWorkerBudget(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		c, err := New(device.IPUMK2(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := models.BERT(1)
+		if _, err := c.CompileModel(m); err != nil {
+			t.Fatal(err)
+		}
+		if peak := c.pool.Peak(); peak > workers {
+			t.Fatalf("Workers=%d: %d live worker goroutines at peak", workers, peak)
+		}
+		if inUse := c.pool.InUse(); inUse != 0 {
+			t.Fatalf("Workers=%d: %d budget slots leaked after compile", workers, inUse)
+		}
+		if cap := c.pool.Cap(); cap != workers-1 {
+			t.Fatalf("Workers=%d: budget capacity %d, want %d helper slots", workers, cap, workers-1)
+		}
+	}
+}
+
+// TestWorkerBudgetSharedAcrossNestedPools drives a single cold search,
+// where the only available parallelism is *inside* the searcher: its
+// Fop shards draw the helper slots the outer pool is not using, and
+// still respect the compile-wide cap.
+func TestWorkerBudgetSharedAcrossNestedPools(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 4
+	c, err := New(device.IPUMK2(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SearchOp(expr.MatMul("mm", 512, 512, 1024, dtype.FP16)); err != nil {
+		t.Fatal(err)
+	}
+	// helpers plus the complete-space estimator never exceed the
+	// Workers-1 slots (the calling goroutine is the fourth worker)
+	if peak := c.pool.Peak(); peak > 3 {
+		t.Fatalf("peak helper goroutines %d exceeds the %d budget slots", peak, 3)
+	}
+	if inUse := c.pool.InUse(); inUse != 0 {
+		t.Fatalf("%d budget slots leaked after the search", inUse)
+	}
+}

@@ -27,9 +27,11 @@ import (
 	"repro/internal/expr"
 	"repro/internal/graph"
 	"repro/internal/interop"
+	"repro/internal/mathutil"
 	"repro/internal/perf"
 	"repro/internal/plancache"
 	"repro/internal/search"
+	"repro/internal/sema"
 	"repro/internal/sim"
 )
 
@@ -50,12 +52,19 @@ type Options struct {
 	// scatter data of Fig 17); costs memory.
 	KeepAllCandidates bool
 
-	// Workers bounds the intra-operator search pool CompileModel fans
-	// operators out to, and the Fop shards each cold search fans out to
-	// internally; 0 means runtime.GOMAXPROCS(0). Workers=1 is the
-	// sequential reference path — plan selection is bit-identical at
-	// every width.
+	// Workers is the compile-wide worker budget: one weighted semaphore
+	// of Workers-1 helper slots is shared by CompileModel's per-operator
+	// pool and every cold search's Fop shards, so the total number of
+	// live goroutines never exceeds Workers no matter how the pools
+	// nest. 0 means runtime.GOMAXPROCS(0). Workers=1 is the sequential
+	// reference path — plan selection is bit-identical at every width.
 	Workers int
+
+	// ExactSpaceAccounting disables bound-based pruning so that
+	// Spaces.Filtered reports the exact rule-based candidate count (the
+	// Fig 17/18 space accounting); every filtered candidate is priced.
+	// The selected plans are bit-identical either way.
+	ExactSpaceAccounting bool
 
 	// CacheDir enables the on-disk plan cache layer: searches missing
 	// in memory are answered from (and written to) content-addressed
@@ -90,6 +99,14 @@ type Compiler struct {
 	Opts Options
 
 	searcher *search.Searcher
+
+	// pool is the compile-wide worker budget (Workers-1 helper slots)
+	// shared by CompileModel's operator pool and the searcher's Fop
+	// shards.
+	pool *sema.Sem
+
+	// workers is Opts.Workers with the GOMAXPROCS default resolved.
+	workers int
 }
 
 // New profiles the device, fits the cost models and returns a compiler.
@@ -101,9 +118,16 @@ func New(spec *device.Spec, opts Options) (*Compiler, error) {
 	if err != nil {
 		return nil, err
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := sema.New(workers - 1)
 	s := search.New(spec, cm, opts.Constraints, opts.PlanConfig)
 	s.KeepAll = opts.KeepAllCandidates
-	s.Workers = opts.Workers
+	s.NoPrune = opts.ExactSpaceAccounting
+	s.Workers = workers
+	s.Pool = pool
 	if opts.SharedCache != nil {
 		s.SetCache(opts.SharedCache)
 	} else if opts.CacheDir != "" || opts.CacheEntries != 0 {
@@ -112,7 +136,7 @@ func New(spec *device.Spec, opts Options) (*Compiler, error) {
 			Dir:        opts.CacheDir,
 		}))
 	}
-	return &Compiler{Spec: spec, CM: cm, Opts: opts, searcher: s}, nil
+	return &Compiler{Spec: spec, CM: cm, Opts: opts, searcher: s, pool: pool, workers: workers}, nil
 }
 
 // PlanCache returns the compiler's plan cache.
@@ -153,11 +177,13 @@ type Executable struct {
 //
 // The intra-operator stage is concurrent: unique operator shapes
 // (deduplicated up front, with in-flight deduplication in the searcher
-// backstopping concurrent compiles) fan out to a pool of Opts.Workers
-// goroutines, and results land in the content-addressed plan cache.
-// The inter-operator reconciliation (§4.3.2) stays sequential and
-// deterministic, so plan selection is bit-identical at every pool
-// width.
+// backstopping concurrent compiles) are processed by the calling
+// goroutine plus helpers drawn from the compile-wide worker budget —
+// the same budget the cold searches' Fop shards draw from, so the
+// nested pools never exceed Opts.Workers live goroutines in total.
+// Results land in the content-addressed plan cache. The inter-operator
+// reconciliation (§4.3.2) stays sequential and deterministic, so plan
+// selection is bit-identical at every pool width.
 func (c *Compiler) CompileModel(m *graph.Model) (*Executable, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -165,7 +191,7 @@ func (c *Compiler) CompileModel(m *graph.Model) (*Executable, error) {
 	start := time.Now()
 
 	// warm the plan cache: unique operator shapes in first-appearance
-	// order (deterministic), searched by a bounded worker pool
+	// order (deterministic), searched by the budgeted worker pool
 	var uniq []*expr.Expr
 	seen := make(map[string]bool, len(m.Ops))
 	for i := range m.Ops {
@@ -175,31 +201,33 @@ func (c *Compiler) CompileModel(m *graph.Model) (*Executable, error) {
 			uniq = append(uniq, m.Ops[i].Expr)
 		}
 	}
-	workers := c.Opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(uniq) {
-		workers = len(uniq)
-	}
 	errs := make([]error, len(uniq))
 	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(uniq) {
+				return
+			}
+			if _, err := c.searcher.SearchOp(uniq[i]); err != nil {
+				errs[i] = fmt.Errorf("op %s: %w", uniq[i].Name, err)
+			}
+		}
+	}
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for n := mathutil.Min(c.workers, len(uniq)); n > 1 && c.pool.TryAcquire(1); n-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(uniq) {
-					return
-				}
-				if _, err := c.searcher.SearchOp(uniq[i]); err != nil {
-					errs[i] = fmt.Errorf("op %s: %w", uniq[i].Name, err)
-				}
-			}
+			defer c.pool.Release(1)
+			c.pool.Enter()
+			defer c.pool.Exit()
+			work()
 		}()
 	}
+	c.pool.Enter()
+	work()
+	c.pool.Exit()
 	wg.Wait()
 	// report the first failure in model order, independent of pool
 	// scheduling
