@@ -4,81 +4,144 @@
 // cache, so repeated requests for the same workload skip the Pareto
 // search entirely.
 //
+// The server is load-shedding, not best-effort: every concurrent
+// request draws its compile workers from one server-wide budget
+// (internal/sema shared mode), so a burst of requests can never run
+// requests × workers goroutines. Requests beyond the budget wait in a
+// bounded admission queue; past that the server answers 429 with
+// Retry-After. Each request carries a deadline (-compile-timeout, plus
+// whatever the client's context imposes) that cancels the Pareto search
+// mid-enumeration, answered with 503. SIGINT/SIGTERM drain in-flight
+// compiles before exiting.
+//
 // Endpoints:
 //
 //	POST /compile    {"model":"BERT","batch":8,"simulate":true}
 //	                 {"op":{"name":"mm","m":1024,"k":1024,"n":4096,"dtype":"fp16"}}
 //	GET  /cachestats plan cache counters as JSON
+//	GET  /stats      serving counters: in-flight, queued, rejected, cancelled
 //	GET  /healthz    liveness probe
 //
 // Usage:
 //
-//	t10serve -addr :8080 -cachedir /var/cache/t10
+//	t10serve -addr :8080 -cachedir /var/cache/t10 -workers 8 -queue 64 -compile-timeout 2m
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/device"
 	"repro/internal/dtype"
 	"repro/internal/expr"
 	"repro/internal/models"
+	"repro/internal/sema"
 	"repro/t10"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheDir := flag.String("cachedir", "", "on-disk plan cache directory")
-	workers := flag.Int("workers", 0, "compile-wide worker budget shared by the operator pool and the Fop shards (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "server-wide compile worker budget shared by every concurrent request (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue length: requests allowed to wait for a worker slot before the server sheds load with 429")
+	timeout := flag.Duration("compile-timeout", 2*time.Minute, "per-request compile deadline; expired requests answer 503 (0 = no deadline)")
 	flag.Parse()
 
+	budget := *workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	pool := sema.NewShared(budget, *queue)
 	opts := t10.DefaultOptions()
 	opts.CacheDir = *cacheDir
-	opts.Workers = *workers
+	opts.Workers = budget
+	opts.SharedPool = pool
 	c, err := t10.New(device.IPUMK2(), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "t10serve:", err)
 		os.Exit(1)
 	}
-	log.Printf("t10serve: listening on %s (device %s, cache dir %q)", *addr, c.Spec.Name, *cacheDir)
+	log.Printf("t10serve: listening on %s (device %s, budget %d workers, queue %d, compile timeout %v, cache dir %q)",
+		*addr, c.Spec.Name, budget, *queue, *timeout, *cacheDir)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(c).mux(),
+		Handler:           newServer(c, pool, *timeout).mux(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      5 * time.Minute, // big-model compiles take a while
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	// graceful shutdown: stop accepting, drain in-flight compiles
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "t10serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		stop()
+		log.Printf("t10serve: shutdown signal, draining in-flight compiles")
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			log.Printf("t10serve: drain incomplete: %v", err)
+		}
+	}
 }
 
 // maxBodyBytes bounds /compile request bodies; the largest legitimate
 // request is a few hundred bytes of JSON.
 const maxBodyBytes = 1 << 20
 
+// maxOpDim and maxBatch bound single-op and model requests to shapes
+// the device could conceivably hold, so a hostile request cannot make
+// the server enumerate plans for a petabyte matmul.
+const (
+	maxOpDim = 1 << 20
+	maxBatch = 4096
+)
+
 // server wires one compiler into the HTTP handlers. The compiler is
-// safe for concurrent compiles: the plan cache and the searcher's
-// in-flight deduplication do the heavy lifting.
+// safe for concurrent compiles: the shared worker budget, the plan
+// cache and the searcher's in-flight deduplication do the heavy
+// lifting.
 type server struct {
-	c *t10.Compiler
+	c       *t10.Compiler
+	pool    *sema.Sem     // the shared budget, for /stats and admission gauges
+	timeout time.Duration // per-request compile deadline; 0 = none
+
+	inFlight     atomic.Int64 // requests currently compiling (or queued for a slot)
+	completed    atomic.Int64 // 200s served
+	rejected     atomic.Int64 // 429s: admission queue full
+	cancelled    atomic.Int64 // 503s: deadline expired / client gone mid-compile
+	encodeErrors atomic.Int64 // response encoding failures (client gone mid-write)
 }
 
-func newServer(c *t10.Compiler) *server { return &server{c: c} }
+func newServer(c *t10.Compiler, pool *sema.Sem, timeout time.Duration) *server {
+	return &server{c: c, pool: pool, timeout: timeout}
+}
 
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
 	m.HandleFunc("/compile", s.handleCompile)
 	m.HandleFunc("/cachestats", s.handleCacheStats)
-	m.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	m.HandleFunc("/stats", s.handleStats)
+	m.HandleFunc("/healthz", s.handleHealthz)
 	return m
 }
 
@@ -97,6 +160,53 @@ type opSpec struct {
 	K     int    `json:"k"`
 	N     int    `json:"n"`
 	DType string `json:"dtype,omitempty"` // fp16 (default), fp32
+}
+
+// expr validates the spec and builds the operator expression.
+func (spec *opSpec) expr() (*expr.Expr, error) {
+	if spec.M <= 0 || spec.K <= 0 || spec.N <= 0 {
+		return nil, fmt.Errorf("op needs positive m, k, n")
+	}
+	if spec.M > maxOpDim || spec.K > maxOpDim || spec.N > maxOpDim {
+		return nil, fmt.Errorf("op dimensions exceed the %d limit", maxOpDim)
+	}
+	name := spec.Name
+	if name == "" {
+		name = "op"
+	}
+	var elem dtype.Type
+	switch strings.ToLower(spec.DType) {
+	case "", "fp16":
+		elem = dtype.FP16
+	case "fp32":
+		elem = dtype.FP32
+	default:
+		return nil, fmt.Errorf("unsupported dtype %q", spec.DType)
+	}
+	return expr.MatMul(name, spec.M, spec.K, spec.N, elem), nil
+}
+
+// parseCompileRequest decodes and structurally validates one /compile
+// body. It never touches the compiler — the fuzz target drives it with
+// arbitrary bytes.
+func parseCompileRequest(r io.Reader) (*compileRequest, error) {
+	var req compileRequest
+	if err := json.NewDecoder(r).Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad request body: %w", err)
+	}
+	switch {
+	case req.Op != nil:
+		if _, err := req.Op.expr(); err != nil {
+			return nil, err
+		}
+	case req.Model != "":
+		if req.Batch > maxBatch {
+			return nil, fmt.Errorf("batch %d exceeds the %d limit", req.Batch, maxBatch)
+		}
+	default:
+		return nil, errors.New(`need "model" or "op"`)
+	}
+	return &req, nil
 }
 
 type opPlanJSON struct {
@@ -138,43 +248,50 @@ type searchResponse struct {
 
 func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		s.methodNotAllowed(w, http.MethodPost)
 		return
 	}
-	var req compileRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+	req, err := parseCompileRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxBodyBytes)
+			s.httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxBodyBytes)
 			return
 		}
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	switch {
-	case req.Op != nil:
-		s.compileOp(w, req.Op)
-	case req.Model != "":
-		s.compileModel(w, &req)
-	default:
-		httpError(w, http.StatusBadRequest, `need "model" or "op"`)
+	// the per-request deadline rides on the client's context, so a
+	// disconnected client also cancels its compile
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	if req.Op != nil {
+		s.compileOp(ctx, w, req.Op)
+	} else {
+		s.compileModel(ctx, w, req)
 	}
 }
 
-func (s *server) compileModel(w http.ResponseWriter, req *compileRequest) {
+func (s *server) compileModel(ctx context.Context, w http.ResponseWriter, req *compileRequest) {
 	batch := req.Batch
 	if batch <= 0 {
 		batch = 1
 	}
 	m, err := models.Build(req.Model, batch)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	start := time.Now()
-	exe, err := s.c.CompileModel(m)
+	exe, err := s.c.CompileModelCtx(ctx, m)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "compile %s: %v", req.Model, err)
+		s.compileError(w, "compile "+req.Model, err)
 		return
 	}
 	resp := compileResponse{
@@ -205,32 +322,20 @@ func (s *server) compileModel(w http.ResponseWriter, req *compileRequest) {
 	if req.Simulate {
 		resp.LatencyMs = exe.Simulate().LatencyMs()
 	}
-	writeJSON(w, resp)
+	s.completed.Add(1)
+	s.writeJSON(w, resp)
 }
 
-func (s *server) compileOp(w http.ResponseWriter, spec *opSpec) {
-	if spec.M <= 0 || spec.K <= 0 || spec.N <= 0 {
-		httpError(w, http.StatusBadRequest, "op needs positive m, k, n")
-		return
-	}
-	name := spec.Name
-	if name == "" {
-		name = "op"
-	}
-	var elem dtype.Type
-	switch strings.ToLower(spec.DType) {
-	case "", "fp16":
-		elem = dtype.FP16
-	case "fp32":
-		elem = dtype.FP32
-	default:
-		httpError(w, http.StatusBadRequest, "unsupported dtype %q", spec.DType)
+func (s *server) compileOp(ctx context.Context, w http.ResponseWriter, spec *opSpec) {
+	e, err := spec.expr()
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	start := time.Now()
-	res, err := s.c.SearchOp(expr.MatMul(name, spec.M, spec.K, spec.N, elem))
+	res, err := s.c.SearchOpCtx(ctx, e)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "search %s: %v", name, err)
+		s.compileError(w, "search "+e.Name, err)
 		return
 	}
 	resp := searchResponse{
@@ -248,28 +353,97 @@ func (s *server) compileOp(w http.ResponseWriter, spec *opSpec) {
 			ShiftKB: float64(c.Est.ShiftBytesPerCore) / 1024,
 		})
 	}
-	writeJSON(w, resp)
+	s.completed.Add(1)
+	s.writeJSON(w, resp)
+}
+
+// compileError maps a failed compile to the load-shedding protocol:
+// saturated admission queue → 429 Too Many Requests, cancelled or
+// deadline-expired → 503 Service Unavailable (both with Retry-After —
+// the condition is transient), anything else → 422 (the request is
+// well-formed but infeasible).
+func (s *server) compileError(w http.ResponseWriter, what string, err error) {
+	switch {
+	case errors.Is(err, sema.ErrSaturated):
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, http.StatusTooManyRequests, "%s: compile budget saturated", what)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.cancelled.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, http.StatusServiceUnavailable, "%s: %v", what, err)
+	default:
+		s.httpError(w, http.StatusUnprocessableEntity, "%s: %v", what, err)
+	}
 }
 
 func (s *server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		s.methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	writeJSON(w, s.c.CacheStats())
+	s.writeJSON(w, s.c.CacheStats())
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// statsResponse is the /stats payload: the admission and budget gauges
+// plus the shed/cancel counters.
+type statsResponse struct {
+	Budget       int   `json:"budget"`       // shared worker budget (slots)
+	BusyWorkers  int   `json:"busy_workers"` // slots held right now
+	InFlight     int64 `json:"in_flight"`    // requests compiling or waiting
+	Queued       int   `json:"queued"`       // requests waiting for a slot
+	Completed    int64 `json:"completed"`
+	Rejected     int64 `json:"rejected"`  // 429s: queue full
+	Cancelled    int64 `json:"cancelled"` // 503s: deadline/client cancellation
+	EncodeErrors int64 `json:"encode_errors"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	s.writeJSON(w, statsResponse{
+		Budget:       s.pool.Cap(),
+		BusyWorkers:  s.pool.InUse(),
+		InFlight:     s.inFlight.Load(),
+		Queued:       s.pool.Waiting(),
+		Completed:    s.completed.Load(),
+		Rejected:     s.rejected.Load(),
+		Cancelled:    s.cancelled.Load(),
+		EncodeErrors: s.encodeErrors.Load(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// HEAD too: load balancers commonly probe liveness with HEAD
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		s.methodNotAllowed(w, "GET, HEAD")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (s *server) methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	s.httpError(w, http.StatusMethodNotAllowed, "method not allowed; use %s", allow)
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
+		s.encodeErrors.Add(1)
 		log.Printf("t10serve: encode response: %v", err)
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+func (s *server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}); err != nil {
+		s.encodeErrors.Add(1)
+	}
 }

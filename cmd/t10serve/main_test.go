@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/models"
 	"repro/internal/plancache"
+	"repro/internal/sema"
 	"repro/t10"
 )
 
@@ -19,14 +21,20 @@ var (
 	srv     *httptest.Server
 )
 
+// testServer builds one shared server with a generous admission queue,
+// so the functional tests never shed load (the soak test builds its own
+// deliberately tight server).
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	srvOnce.Do(func() {
-		c, err := t10.New(device.IPUMK2(), t10.DefaultOptions())
+		pool := sema.NewShared(runtime.GOMAXPROCS(0), 1024)
+		opts := t10.DefaultOptions()
+		opts.SharedPool = pool
+		c, err := t10.New(device.IPUMK2(), opts)
 		if err != nil {
 			panic(err)
 		}
-		srv = httptest.NewServer(newServer(c).mux())
+		srv = httptest.NewServer(newServer(c, pool, 0).mux())
 	})
 	return srv
 }
@@ -207,5 +215,101 @@ func TestHealthz(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("healthz: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Errorf("healthz: Content-Type %q, want text/plain; charset=utf-8", ct)
+	}
+	// load balancers commonly probe with HEAD
+	head, err := http.Head(s.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	head.Body.Close()
+	if head.StatusCode != http.StatusOK {
+		t.Errorf("HEAD healthz: %s, want 200", head.Status)
+	}
+}
+
+// TestMethodNotAllowedSetsAllow checks every endpoint's 405 reply names
+// the allowed method and stays JSON.
+func TestMethodNotAllowedSetsAllow(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodGet, "/compile", http.MethodPost},
+		{http.MethodPost, "/cachestats", http.MethodGet},
+		{http.MethodPost, "/stats", http.MethodGet},
+		{http.MethodPost, "/healthz", "GET, HEAD"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, s.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]string
+		decodeErr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != tc.allow {
+			t.Errorf("%s %s: Allow %q, want %q", tc.method, tc.path, allow, tc.allow)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s %s: Content-Type %q, want application/json", tc.method, tc.path, ct)
+		}
+		if decodeErr != nil || body["error"] == "" {
+			t.Errorf("%s %s: 405 body not a JSON error (%v)", tc.method, tc.path, decodeErr)
+		}
+	}
+}
+
+// TestStatsEndpoint checks /stats serves the serving counters and that
+// a completed compile is visible in them.
+func TestStatsEndpoint(t *testing.T) {
+	s := testServer(t)
+	if resp := postJSON(t, s.URL+"/compile", `{"op":{"name":"mm","m":64,"k":64,"n":128}}`, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: %s", resp.Status)
+	}
+	resp, err := http.Get(s.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats: %s", resp.Status)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Budget < 1 {
+		t.Errorf("budget = %d, want >= 1", st.Budget)
+	}
+	if st.Completed < 1 {
+		t.Errorf("completed = %d after a successful compile", st.Completed)
+	}
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("idle server reports in_flight=%d queued=%d", st.InFlight, st.Queued)
+	}
+}
+
+// TestOversizedOpRejected checks the request sanity caps: a plausible
+// but absurd matmul is refused before it can monopolize the search.
+func TestOversizedOpRejected(t *testing.T) {
+	s := testServer(t)
+	cases := []string{
+		`{"op":{"m":2097152,"k":64,"n":64}}`,
+		`{"model":"BERT","batch":100000}`,
+	}
+	for _, body := range cases {
+		if resp := postJSON(t, s.URL+"/compile", body, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
 	}
 }

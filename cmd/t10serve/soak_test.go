@@ -1,0 +1,223 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/sema"
+	"repro/t10"
+)
+
+// soakServer builds a deliberately tight server: a small shared worker
+// budget and a short admission queue, so a request burst actually
+// saturates it.
+func soakServer(t *testing.T, budget, queueLen int, timeout time.Duration) (*server, *httptest.Server, *sema.Sem) {
+	t.Helper()
+	pool := sema.NewShared(budget, queueLen)
+	opts := t10.DefaultOptions()
+	opts.Workers = budget
+	opts.SharedPool = pool
+	c, err := t10.New(device.IPUMK2(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(c, pool, timeout)
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(ts.Close)
+	return s, ts, pool
+}
+
+// TestServeSoakUnderSharedBudget fires 32 parallel /compile requests —
+// mixed models and ops, some with client deadlines that expire
+// mid-search — at a server with a 3-worker budget and a 6-deep
+// admission queue, under the race detector. It asserts the shared
+// semaphore's instrumented live-worker peak never exceeds the budget,
+// that every received response is either valid JSON with 200 or a
+// clean 429/503, and that the server drains back to idle.
+func TestServeSoakUnderSharedBudget(t *testing.T) {
+	const (
+		budget   = 3
+		queueLen = 6
+		parallel = 32
+	)
+	_, ts, pool := soakServer(t, budget, queueLen, 0)
+
+	bodies := make([]string, parallel)
+	deadline := make([]time.Duration, parallel)
+	for i := range bodies {
+		switch i % 4 {
+		case 0:
+			bodies[i] = fmt.Sprintf(`{"model":"BERT","batch":%d}`, 1+i%2)
+		case 1:
+			bodies[i] = fmt.Sprintf(`{"op":{"name":"soak","m":%d,"k":256,"n":512}}`, 256+64*(i%5))
+		case 2:
+			bodies[i] = fmt.Sprintf(`{"op":{"name":"soak2","m":512,"k":%d,"n":256}}`, 128+128*(i%3))
+		default:
+			// a deadline tuned to expire mid-search
+			bodies[i] = fmt.Sprintf(`{"op":{"name":"doomed","m":1024,"k":1024,"n":%d}}`, 2048+512*(i%3))
+			deadline[i] = time.Duration(1+i%10) * time.Millisecond
+		}
+	}
+
+	type outcome struct {
+		status    int
+		transport bool // client-side error (its own deadline fired)
+		jsonOK    bool
+	}
+	outcomes := make([]outcome, parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < parallel; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			if deadline[i] > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, deadline[i])
+				defer cancel()
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/compile", strings.NewReader(bodies[i]))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				if deadline[i] == 0 {
+					t.Errorf("request %d: transport error without a deadline: %v", i, err)
+				}
+				outcomes[i] = outcome{transport: true}
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				outcomes[i] = outcome{status: resp.StatusCode}
+				return
+			}
+			var decoded any
+			outcomes[i] = outcome{
+				status: resp.StatusCode,
+				jsonOK: json.Unmarshal(body, &decoded) == nil,
+			}
+			switch resp.StatusCode {
+			case http.StatusOK, http.StatusServiceUnavailable:
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Errorf("request %d: 429 without Retry-After", i)
+				}
+			default:
+				t.Errorf("request %d (%s): status %d, want 200/429/503", i, bodies[i], resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// the instrumented semaphore proves the admission discipline: the
+	// live-worker peak across all 32 requests stayed within the budget
+	if peak := pool.Peak(); peak > budget {
+		t.Fatalf("live worker goroutine peak %d exceeds the shared budget %d", peak, budget)
+	}
+	if inUse := pool.InUse(); inUse != 0 {
+		t.Fatalf("%d budget slots leaked after the burst", inUse)
+	}
+	if waiting := pool.Waiting(); waiting != 0 {
+		t.Fatalf("%d admissions still queued after the burst", waiting)
+	}
+	var got, bad int
+	for i, o := range outcomes {
+		if o.transport {
+			continue
+		}
+		got++
+		if !o.jsonOK {
+			bad++
+			t.Errorf("request %d: status %d body is not valid JSON", i, o.status)
+		}
+	}
+	if got == 0 {
+		t.Fatal("no request produced a response at all")
+	}
+	t.Logf("soak: %d responses (%d non-JSON), peak workers %d/%d", got, bad, pool.Peak(), budget)
+
+	// with the burst drained, a fresh request must go straight through
+	var after searchResponse
+	if resp := postJSON(t, ts.URL+"/compile", `{"op":{"name":"after","m":256,"k":256,"n":256}}`, &after); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-burst compile: %s", resp.Status)
+	}
+	if len(after.Pareto) == 0 {
+		t.Fatal("post-burst compile returned no plans")
+	}
+	var st statsResponse
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.InFlight != 0 || st.Queued != 0 || st.BusyWorkers != 0 {
+		t.Errorf("drained server reports in_flight=%d queued=%d busy=%d", st.InFlight, st.Queued, st.BusyWorkers)
+	}
+	if st.Completed < 1 {
+		t.Errorf("completed = %d, want >= 1", st.Completed)
+	}
+}
+
+// TestCompileDeadlineReturns503 pins the deadline path: a server-side
+// compile timeout that can never be met answers 503 with Retry-After
+// and a JSON error body, and the slot is returned to the budget.
+func TestCompileDeadlineReturns503(t *testing.T) {
+	_, ts, pool := soakServer(t, 2, 4, time.Nanosecond)
+	resp := postJSON(t, ts.URL+"/compile", `{"op":{"name":"mm","m":512,"k":512,"n":512}}`, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired deadline: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("503 Content-Type %q, want application/json", ct)
+	}
+	if inUse := pool.InUse(); inUse != 0 {
+		t.Fatalf("%d budget slots leaked by the expired request", inUse)
+	}
+}
+
+// TestQueueSaturationReturns429 occupies the whole budget and queue
+// with slow compiles, then asserts the next request sheds with 429
+// immediately instead of waiting.
+func TestQueueSaturationReturns429(t *testing.T) {
+	s, ts, pool := soakServer(t, 1, 0, 0)
+	// occupy the only slot directly through the pool — deterministic,
+	// no timing games
+	if !pool.TryAcquire(1) {
+		t.Fatal("could not occupy the budget")
+	}
+	resp := postJSON(t, ts.URL+"/compile", `{"op":{"name":"mm","m":256,"k":256,"n":256}}`, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := s.rejected.Load(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+	pool.Release(1)
+	if resp := postJSON(t, ts.URL+"/compile", `{"op":{"name":"mm","m":256,"k":256,"n":256}}`, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release compile: %s", resp.Status)
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dtype"
+	"repro/internal/expr"
+)
+
+// FuzzModelRoundTrip drives the model JSON reader with arbitrary
+// bytes: ReadJSON must never panic, and any model it accepts must
+// survive a Write→Read round trip bit-identically — the property the
+// plan cache and every t10c/t10serve file interchange rely on.
+func FuzzModelRoundTrip(f *testing.F) {
+	// real multi-op models as seeds (built by hand: internal/models
+	// would be an import cycle from this package's tests), plus
+	// structural near-misses
+	chain := &Model{Name: "chain", BatchSize: 2, Ops: []Op{
+		{
+			Name: "mm1",
+			Expr: expr.MatMul("mm1", 8, 16, 8, dtype.FP16),
+			// input 0 is the activation, input 1 the weight
+			WeightInputs: []int{1},
+			Sources:      []int{External, External},
+			Repeat:       3,
+		},
+		{
+			Name:         "mm2",
+			Expr:         expr.MatMul("mm2", 8, 8, 4, dtype.FP32),
+			WeightInputs: []int{1},
+			Sources:      []int{0, External},
+		},
+		{
+			Name:    "sum",
+			Expr:    expr.ReduceSum("sum", 8, 4, dtype.FP32),
+			Sources: []int{1},
+		},
+	}}
+	tiny := &Model{Name: "tiny", BatchSize: 1, Ops: []Op{{
+		Name:         "mm",
+		Expr:         expr.MatMul("mm", 4, 4, 4, dtype.FP16),
+		WeightInputs: []int{1},
+		Sources:      []int{External, External},
+	}}}
+	for _, m := range []*Model{chain, tiny} {
+		if err := m.Validate(); err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	for _, seed := range []string{
+		`{}`,
+		`{"version":1,"name":"m","batch_size":1,"ops":[]}`,
+		`{"version":2,"name":"m","batch_size":1,"ops":[]}`,
+		`{"version":1,"ops":[{"name":"x","kind":"matmul","axes":[{"name":"a","size":4,"kind":"spatial"}],"inputs":[],"output":{"name":"o","elem":"fp16","dims":[[{"axis":0,"stride":1}]]},"flops_per_point":2,"sources":[]}]}`,
+		`{"version":1,"ops":[{"kind":"nope"}]}`,
+		`{"version":1,"ops":[{"name":"x","kind":"matmul","axes":[{"name":"a","size":-4,"kind":"spatial"}]}]}`,
+		`{"version":1,"ops":[{"name":"x","kind":"reduce","axes":[{"name":"a","size":4,"kind":"gather"}],"output":{"name":"o","elem":"fp16","dims":[[{"axis":0,"stride":1}]]},"sources":[]}]}`,
+		`{"version":1,"ops":[{"name":"x","kind":"matmul","axes":[{"name":"a","size":4,"kind":"spatial"}],"inputs":[{"name":"i","elem":"fp16","dims":[[{"axis":7,"stride":1}]]}],"output":{"name":"o","elem":"fp16","dims":[[{"axis":0,"stride":1}]]},"sources":[-1]}]}`,
+		`[]`,
+		`null`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is always fine; panicking is not
+		}
+		var first bytes.Buffer
+		if err := m.WriteJSON(&first); err != nil {
+			t.Fatalf("accepted model %q does not serialize: %v", m.Name, err)
+		}
+		m2, err := ReadJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip of accepted model %q rejected: %v", m.Name, err)
+		}
+		var second bytes.Buffer
+		if err := m2.WriteJSON(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round trip is not a fixed point:\nfirst:  %s\nsecond: %s", first.Bytes(), second.Bytes())
+		}
+	})
+}

@@ -156,6 +156,22 @@ func (c *Cache) Get(k Key) (any, bool) {
 	return v, true
 }
 
+// Peek returns the in-memory value for the key without refreshing its
+// recency or touching the hit/miss counters — an observation, not a
+// use. Consistency tests rely on it to prove that a cancelled search
+// left no record behind without perturbing the stats or the LRU order
+// they are also asserting on.
+func (c *Cache) Peek(k Key) (any, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[k]
+	if !ok {
+		return nil, false
+	}
+	return e.val, true
+}
+
 // Put inserts (or refreshes) an in-memory entry, evicting the least
 // recently used entry of its shard when full.
 func (c *Cache) Put(k Key, v any) {

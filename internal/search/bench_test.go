@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"runtime"
@@ -50,7 +51,7 @@ func BenchmarkColdSearch(b *testing.B) {
 			var r *Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				r, err = s.searchOp(e)
+				r, err = s.searchOp(context.Background(), e)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -126,7 +127,7 @@ func TestSearchEquivalence(t *testing.T) {
 				name := fmt.Sprintf("%s/cons%d/w%d/noprune=%t/nosubtree=%t",
 					e.Name, ci, v.workers, v.noPrune, v.noSubtree)
 				s.Workers, s.NoPrune, s.NoSubtree = v.workers, v.noPrune, v.noSubtree
-				r, err := s.searchOp(e)
+				r, err := s.searchOp(context.Background(), e)
 				if err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}

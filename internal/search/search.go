@@ -25,9 +25,19 @@
 // the cost model exactly once per worker. A deterministic merge keeps
 // the selected Pareto set bit-identical to the sequential, unpruned
 // enumeration at every worker count.
+//
+// The whole engine is context-aware (SearchOpCtx): cancellation is
+// checked at every Fop shard boundary and every few hundred leaf
+// visits of the temporal-factor recursion, so an abandoned request
+// stops promptly, returns ctx.Err(), and leaves the plan cache and the
+// in-flight deduplication consistent — a cancelled search caches
+// nothing, and waiters deduplicated onto a cancelled flight retry
+// under their own context.
 package search
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/big"
@@ -227,37 +237,65 @@ func (s *Searcher) SetCache(c *plancache.Cache) {
 // Cache returns the searcher's plan cache (for stats endpoints).
 func (s *Searcher) Cache() *plancache.Cache { return s.cache }
 
-// SearchOp finds the Pareto-optimal plans for one operator: from the
+// SearchOp finds the Pareto-optimal plans for one operator with no
+// deadline; see SearchOpCtx.
+func (s *Searcher) SearchOp(e *expr.Expr) (*Result, error) {
+	return s.SearchOpCtx(context.Background(), e)
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline —
+// the caller's problem, never a property of the search itself.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// SearchOpCtx finds the Pareto-optimal plans for one operator: from the
 // in-memory cache, a concurrent in-flight search, the disk layer, or a
 // fresh enumeration, in that order. Errors are shared with concurrent
 // waiters but never cached.
-func (s *Searcher) SearchOp(e *expr.Expr) (*Result, error) {
+//
+// Cancelling ctx stops a fresh enumeration promptly (checked at Fop
+// shard boundaries and every few hundred leaf visits) and returns
+// ctx.Err(); nothing partial reaches either cache layer. A waiter whose
+// own ctx dies abandons the flight (which keeps running for its owner);
+// a waiter whose flight *owner* was cancelled retries the search under
+// its own ctx instead of inheriting the foreign cancellation.
+func (s *Searcher) SearchOpCtx(ctx context.Context, e *expr.Expr) (*Result, error) {
 	key := s.fingerprint(e)
-	if v, ok := s.cache.Get(key); ok {
-		return v.(*Result), nil
-	}
+	for {
+		if v, ok := s.cache.Get(key); ok {
+			return v.(*Result), nil
+		}
 
-	s.mu.Lock()
-	if f, ok := s.inflight[key]; ok {
+		s.mu.Lock()
+		if f, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err != nil && isCtxErr(f.err) && ctx.Err() == nil {
+					continue // the owner was cancelled, not the search: retry as owner
+				}
+				return f.res, f.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		s.inflight[key] = f
 		s.mu.Unlock()
-		<-f.done
+
+		f.res, f.err = s.lookupOrSearch(ctx, key, e)
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(f.done)
 		return f.res, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	s.inflight[key] = f
-	s.mu.Unlock()
-
-	f.res, f.err = s.lookupOrSearch(key, e)
-	s.mu.Lock()
-	delete(s.inflight, key)
-	s.mu.Unlock()
-	close(f.done)
-	return f.res, f.err
 }
 
 // lookupOrSearch tries the disk layer, then runs the enumeration, and
 // populates both cache layers on the way out.
-func (s *Searcher) lookupOrSearch(key plancache.Key, e *expr.Expr) (*Result, error) {
+func (s *Searcher) lookupOrSearch(ctx context.Context, key plancache.Key, e *expr.Expr) (*Result, error) {
 	if blob, ok := s.cache.GetBlob(key); ok {
 		if r, err := decodeResult(e, s.Cfg, blob); err == nil {
 			s.cache.Put(key, r)
@@ -266,7 +304,7 @@ func (s *Searcher) lookupOrSearch(key plancache.Key, e *expr.Expr) (*Result, err
 		// corrupt or stale record: fall through to a fresh search,
 		// which overwrites it
 	}
-	r, err := s.searchOp(e)
+	r, err := s.searchOp(ctx, e)
 	if err != nil {
 		return nil, err
 	}
@@ -295,8 +333,14 @@ type fopShard struct {
 }
 
 // searchOp runs the actual enumeration (§4.3.1), bypassing every cache
-// layer.
-func (s *Searcher) searchOp(e *expr.Expr) (*Result, error) {
+// layer. Cancellation is cooperative: every worker re-checks ctx at
+// each Fop shard boundary and every leafCheckInterval leaf visits, the
+// first observer raises a shared flag the others poll cheaply, and a
+// cancelled search returns ctx.Err() with nothing cached.
+func (s *Searcher) searchOp(ctx context.Context, e *expr.Expr) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	r := &Result{Op: e.Name}
 
@@ -338,9 +382,20 @@ func (s *Searcher) searchOp(e *expr.Expr) (*Result, error) {
 	order := s.shardOrder(e, fops, memoPredictor(seed, pred), pf != nil)
 	shards := make([]fopShard, len(fops))
 	var next atomic.Int64
+	var cancelled atomic.Bool
 	work := func() {
 		w := newSearchWorker(s, e, pred, table, seed)
+		w.ctx, w.cancelled = ctx, &cancelled
 		for {
+			// shard boundary: the first worker to observe the dead ctx
+			// raises the shared flag; everyone else sees the flag
+			if cancelled.Load() {
+				return
+			}
+			if ctx.Err() != nil {
+				cancelled.Store(true)
+				return
+			}
 			i := int(next.Add(1)) - 1
 			if i >= len(order) {
 				return
@@ -377,6 +432,12 @@ func (s *Searcher) searchOp(e *expr.Expr) (*Result, error) {
 	}
 	work()
 	wg.Wait()
+	if cancelled.Load() || ctx.Err() != nil {
+		// abandon the partial shards; nothing reaches the cache (the
+		// complete-space estimator, if running, drains into its buffered
+		// channel and releases its slot on its own)
+		return nil, ctx.Err()
+	}
 
 	// Deterministic merge: stream every shard's candidates into the
 	// frontier in enumeration order — exactly the order the sequential
@@ -536,6 +597,37 @@ type searchWorker struct {
 	fts        [][]int
 	restMin    []int64 // restMin[ti]: min footprint of tensors ti.. under the current Fop
 	leavesFrom []int   // leavesFrom[ti]: complete assignments below a fixed tensor ti
+
+	// Cancellation plumbing: ctx is polled every leafCheckInterval leaf
+	// visits (ctx.Err() is too costly per leaf); cancelled is the
+	// search-wide flag that fans one worker's observation out to the
+	// rest, and stop unwinds this worker's recursion.
+	ctx        context.Context
+	cancelled  *atomic.Bool
+	stop       bool
+	sinceCheck int
+}
+
+// leafCheckInterval is how many leaf visits pass between ctx polls: low
+// enough that cancellation lands within microseconds of work, high
+// enough that the poll never shows up in BenchmarkColdSearch.
+const leafCheckInterval = 256
+
+// checkCancel is the every-N-leaves cancellation probe. It returns true
+// once the search is cancelled, after which the worker's recursion
+// unwinds without visiting further leaves.
+func (w *searchWorker) checkCancel() bool {
+	if w.stop {
+		return true
+	}
+	if w.sinceCheck++; w.sinceCheck >= leafCheckInterval {
+		w.sinceCheck = 0
+		if w.cancelled.Load() || w.ctx.Err() != nil {
+			w.cancelled.Store(true)
+			w.stop = true
+		}
+	}
+	return w.stop
 }
 
 // ftChoiceSet is one temporal-factor table entry.
@@ -549,6 +641,7 @@ func newSearchWorker(s *Searcher, e *expr.Expr, pred costmodel.Predictor, table 
 	tensors := e.Tensors()
 	w := &searchWorker{
 		s: s, e: e, tensors: tensors, table: table,
+		ctx: context.Background(), cancelled: new(atomic.Bool),
 		taskMemo:   make(map[kernel.Task]float64, len(seed)),
 		sketch:     core.NewPlanSketch(e, s.Cfg),
 		perTensor:  make([][][]int, len(tensors)),
@@ -644,6 +737,9 @@ func (w *searchWorker) processFop(fop []int, out *fopShard, pf *pruneFrontier) {
 			return
 		}
 		for _, choice := range w.perTensor[ti] {
+			if w.stop {
+				return // cancelled: unwind without visiting further leaves
+			}
 			w.fts[ti] = choice
 			if !w.sketch.Fix(choice) {
 				continue // invalid for every completion; nothing enters Filtered
@@ -680,6 +776,9 @@ func (w *searchWorker) processFop(fop []int, out *fopShard, pf *pruneFrontier) {
 // estimate reuses the sketch's per-step prediction through the task
 // memo, so no kernel task is priced twice.
 func (w *searchWorker) consider(fop []int, out *fopShard, pf *pruneFrontier) {
+	if w.checkCancel() {
+		return
+	}
 	s := w.s
 	if !w.sketch.Compute(fop, w.fts) {
 		return

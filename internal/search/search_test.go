@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math/big"
 	"sync"
 	"testing"
@@ -254,7 +255,7 @@ func TestKernelTaskPredictedOnce(t *testing.T) {
 			float64(task.InBytes+task.OutBytes)*1e-4 + 5
 	})
 	e := expr.MatMul("mm-predcount", 128, 128, 128, dtype.FP16)
-	r, err := s.searchOp(e)
+	r, err := s.searchOp(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}

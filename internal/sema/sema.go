@@ -1,5 +1,6 @@
 // Package sema provides the compile-wide worker budget: a weighted
-// counting semaphore shared by every worker pool of one compilation.
+// counting semaphore shared by every worker pool of one compilation —
+// or, in shared-budget mode, by every compilation of one process.
 //
 // CompileModel fans unique operators out to a pool, and each cold
 // intra-operator search fans its Fop shards out to another — naively
@@ -11,22 +12,55 @@
 // live worker goroutines across all nesting levels never exceeds
 // 1 + capacity = Workers.
 //
-// Acquisition is deliberately non-blocking: a blocking acquire from a
-// goroutine that already holds a slot deadlocks a nested pool, while
-// opportunistic spawning degrades gracefully to the caller doing all
-// the work itself.
+// Helper acquisition is deliberately non-blocking: a blocking acquire
+// from a goroutine that already holds a slot deadlocks a nested pool,
+// while opportunistic spawning degrades gracefully to the caller doing
+// all the work itself.
+//
+// # Shared-budget mode
+//
+// NewShared builds a server-wide budget for many concurrent
+// compilations (t10serve's /compile traffic): every compile's *calling*
+// goroutine must also hold a slot, acquired with the blocking,
+// context-aware Acquire before any work starts. Every live worker —
+// request callers and helpers alike — then holds exactly one slot, so
+// the process-wide live worker count never exceeds the capacity no
+// matter how many requests arrive. Acquire queues FIFO up to the
+// admission bound and fails fast with ErrSaturated beyond it, which is
+// the server's cue to shed load (HTTP 429/503) instead of stacking
+// goroutines.
 package sema
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrSaturated is returned by Acquire when the admission queue of a
+// shared-budget semaphore is full: the caller should shed load (HTTP
+// 429/503 with Retry-After) rather than wait.
+var ErrSaturated = errors.New("sema: worker budget saturated, admission queue full")
+
+// waiter is one queued Acquire call.
+type waiter struct {
+	n     int
+	ready chan struct{} // closed when the slots have been granted
+}
 
 // Sem is the weighted semaphore plus worker-count instrumentation.
-// The zero Sem has capacity zero (every TryAcquire fails); use New.
+// The zero Sem has capacity zero (every TryAcquire fails); use New or
+// NewShared.
 type Sem struct {
 	mu      sync.Mutex
 	cap     int
 	inUse   int
 	running int
 	peak    int
+	shared  bool
+	maxWait int // admission bound on queued Acquires; <0 = unlimited
+	waiters []*waiter
 }
 
 // New returns a semaphore with the given helper capacity. Negative
@@ -35,10 +69,31 @@ func New(capacity int) *Sem {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &Sem{cap: capacity}
+	return &Sem{cap: capacity, maxWait: -1}
 }
 
-// Cap returns the helper capacity.
+// NewShared returns a server-wide budget of capacity worker slots with
+// a bounded admission queue: at most maxQueue Acquire calls may wait
+// for a slot at once; further calls fail fast with ErrSaturated.
+// Capacity clamps to at least one slot (a budget no compile could ever
+// enter would deadlock every caller).
+func NewShared(capacity, maxQueue int) *Sem {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Sem{cap: capacity, shared: true, maxWait: maxQueue}
+}
+
+// Shared reports whether the semaphore is a shared (server-wide)
+// budget, i.e. compile callers must Acquire their own slot.
+func (s *Sem) Shared() bool {
+	return s != nil && s.shared
+}
+
+// Cap returns the slot capacity.
 func (s *Sem) Cap() int {
 	if s == nil {
 		return 0
@@ -47,21 +102,85 @@ func (s *Sem) Cap() int {
 }
 
 // TryAcquire reserves n slots if they are all free right now, without
-// blocking. A nil Sem always refuses (the degenerate sequential budget).
+// blocking. A nil Sem always refuses (the degenerate sequential
+// budget), and so does a semaphore with queued Acquire waiters —
+// opportunistic helpers must not starve admitted compilations waiting
+// for their first slot.
 func (s *Sem) TryAcquire(n int) bool {
 	if s == nil || n <= 0 {
 		return false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.inUse+n > s.cap {
+	if len(s.waiters) > 0 || s.inUse+n > s.cap {
 		return false
 	}
 	s.inUse += n
 	return true
 }
 
-// Release returns n slots.
+// Acquire reserves n slots, waiting in FIFO order until they are free
+// or ctx is done. On a shared-budget semaphore at most maxQueue calls
+// may wait at once; beyond that Acquire fails fast with ErrSaturated.
+// A nil Sem grants immediately (no budget to respect).
+//
+// Acquire is for the *callers* of a compilation (admission control);
+// worker pools inside a compilation must keep using TryAcquire — a
+// blocking acquire from a goroutine already holding a slot would
+// deadlock the nested pools.
+func (s *Sem) Acquire(ctx context.Context, n int) error {
+	if s == nil || n <= 0 {
+		return nil
+	}
+	if n > s.cap {
+		return fmt.Errorf("sema: acquire %d slots from a %d-slot budget", n, s.cap)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if len(s.waiters) == 0 && s.inUse+n <= s.cap {
+		s.inUse += n
+		s.mu.Unlock()
+		return nil
+	}
+	if s.maxWait >= 0 && len(s.waiters) >= s.maxWait {
+		s.mu.Unlock()
+		return ErrSaturated
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// granted concurrently with cancellation: give the slots
+			// back and let the next waiter have them
+			s.inUse -= w.n
+			s.grantLocked()
+		default:
+			for i, q := range s.waiters {
+				if q == w {
+					s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+					break
+				}
+			}
+			// a departing large waiter may have been the only thing
+			// blocking smaller ones behind it
+			s.grantLocked()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns n slots and hands them to queued Acquires in FIFO
+// order.
 func (s *Sem) Release(n int) {
 	if s == nil || n <= 0 {
 		return
@@ -71,6 +190,22 @@ func (s *Sem) Release(n int) {
 	s.inUse -= n
 	if s.inUse < 0 {
 		panic("sema: release without acquire")
+	}
+	s.grantLocked()
+}
+
+// grantLocked hands free slots to the head of the waiter queue. FIFO:
+// a large waiter at the head blocks smaller ones behind it, so no
+// admitted compile is starved by a stream of later arrivals.
+func (s *Sem) grantLocked() {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if s.inUse+w.n > s.cap {
+			return
+		}
+		s.inUse += w.n
+		s.waiters = s.waiters[1:]
+		close(w.ready)
 	}
 }
 
@@ -84,10 +219,22 @@ func (s *Sem) InUse() int {
 	return s.inUse
 }
 
+// Waiting returns the number of Acquire calls queued for a slot (the
+// /stats "queued" gauge).
+func (s *Sem) Waiting() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
 // Enter brackets the start of one worker's run loop — the pool's
 // calling goroutine as well as every slot-holding helper — so Peak
 // reports the true number of concurrently live workers, which the
-// budget tests assert never exceeds Workers.
+// budget tests assert never exceeds Workers (private budgets) or the
+// capacity (shared budgets, where callers hold slots too).
 func (s *Sem) Enter() {
 	if s == nil {
 		return

@@ -1,6 +1,8 @@
 package sema
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"testing"
@@ -97,5 +99,218 @@ func TestConcurrentAcquireNeverOversubscribes(t *testing.T) {
 	wg.Wait()
 	if got := s.InUse(); got != 0 {
 		t.Fatalf("InUse = %d after all releases", got)
+	}
+}
+
+func TestAcquireBlocksUntilRelease(t *testing.T) {
+	s := NewShared(1, 4)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- s.Acquire(context.Background(), 1) }()
+	// the second acquire must be queued, not failed
+	for s.Waiting() == 0 {
+		runtime.Gosched()
+	}
+	select {
+	case err := <-got:
+		t.Fatalf("acquire returned %v before a slot was free", err)
+	default:
+	}
+	s.Release(1)
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	s.Release(1)
+	if s.InUse() != 0 || s.Waiting() != 0 {
+		t.Fatalf("InUse=%d Waiting=%d after releasing everything", s.InUse(), s.Waiting())
+	}
+}
+
+func TestAcquireSaturatesBeyondQueueBound(t *testing.T) {
+	s := NewShared(1, 2)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { done <- s.Acquire(context.Background(), 1) }()
+	}
+	for s.Waiting() < 2 {
+		runtime.Gosched()
+	}
+	// the queue is full: the next acquire must shed, not wait
+	if err := s.Acquire(context.Background(), 1); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("acquire on a full queue: %v, want ErrSaturated", err)
+	}
+	s.Release(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	s.Release(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	s.Release(1)
+	if s.InUse() != 0 {
+		t.Fatalf("InUse = %d after draining", s.InUse())
+	}
+}
+
+func TestAcquireHonorsContextCancellation(t *testing.T) {
+	s := NewShared(1, 4)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- s.Acquire(ctx, 1) }()
+	for s.Waiting() == 0 {
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire: %v, want context.Canceled", err)
+	}
+	if s.Waiting() != 0 {
+		t.Fatalf("cancelled waiter still queued: Waiting = %d", s.Waiting())
+	}
+	// the held slot is unaffected; the next acquire gets it after release
+	s.Release(1)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(1)
+	// an already-dead context never touches the queue
+	if err := s.Acquire(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("acquire with dead context: %v", err)
+	}
+	if s.InUse() != 0 {
+		t.Fatalf("InUse = %d, want 0", s.InUse())
+	}
+}
+
+func TestAcquireFIFOOrder(t *testing.T) {
+	s := NewShared(1, 8)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 4
+	order := make(chan int, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		go func() {
+			if err := s.Acquire(context.Background(), 1); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- i
+			s.Release(1)
+		}()
+		// serialize enqueue so the queue order is the spawn order
+		for s.Waiting() <= i {
+			runtime.Gosched()
+		}
+	}
+	s.Release(1)
+	for want := 0; want < waiters; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("waiter %d granted before waiter %d", got, want)
+		}
+	}
+	if s.InUse() != 0 {
+		t.Fatalf("InUse = %d after draining", s.InUse())
+	}
+}
+
+func TestTryAcquireYieldsToQueuedWaiters(t *testing.T) {
+	s := NewShared(2, 4)
+	if err := s.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- s.Acquire(context.Background(), 1) }()
+	for s.Waiting() == 0 {
+		runtime.Gosched()
+	}
+	s.Release(1)
+	// a slot became free but the waiter... was granted it immediately;
+	// regardless, an opportunistic helper must never jump a queue
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	go func() { got <- s.Acquire(context.Background(), 2) }()
+	for s.Waiting() == 0 {
+		runtime.Gosched()
+	}
+	if s.TryAcquire(1) {
+		t.Fatal("TryAcquire succeeded past a queued waiter")
+	}
+	s.Release(2)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	s.Release(2)
+	if s.InUse() != 0 {
+		t.Fatalf("InUse = %d after draining", s.InUse())
+	}
+}
+
+func TestSharedClampsAndOverweight(t *testing.T) {
+	s := NewShared(0, -3)
+	if s.Cap() != 1 || !s.Shared() {
+		t.Fatalf("Cap=%d Shared=%t, want a 1-slot shared budget", s.Cap(), s.Shared())
+	}
+	// zero queue: an occupied budget sheds immediately
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Acquire(context.Background(), 1); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("acquire with maxQueue=0: %v, want ErrSaturated", err)
+	}
+	if err := s.Acquire(context.Background(), 2); err == nil || errors.Is(err, ErrSaturated) {
+		t.Fatalf("over-capacity acquire: %v, want a distinct error", err)
+	}
+	s.Release(1)
+	var nilSem *Sem
+	if err := nilSem.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("nil Sem Acquire: %v, want nil (no budget to respect)", err)
+	}
+	if nilSem.Shared() || nilSem.Waiting() != 0 {
+		t.Fatal("nil Sem must report unshared, empty queue")
+	}
+}
+
+func TestCancelledLargeWaiterWakesSmallerOnes(t *testing.T) {
+	s := NewShared(4, 8)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// a 4-slot waiter heads the queue (1+4 > 4) and blocks a 1-slot
+	// waiter behind it
+	bigCtx, cancelBig := context.WithCancel(context.Background())
+	bigDone := make(chan error, 1)
+	go func() { bigDone <- s.Acquire(bigCtx, 4) }()
+	for s.Waiting() == 0 {
+		runtime.Gosched()
+	}
+	smallDone := make(chan error, 1)
+	go func() { smallDone <- s.Acquire(context.Background(), 1) }()
+	for s.Waiting() < 2 {
+		runtime.Gosched()
+	}
+	// cancelling the head must hand the free slots to the small waiter
+	// immediately — not strand it until the next Release
+	cancelBig()
+	if err := <-bigDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled head waiter: %v", err)
+	}
+	if err := <-smallDone; err != nil {
+		t.Fatalf("small waiter after head cancellation: %v", err)
+	}
+	s.Release(2)
+	if s.InUse() != 0 || s.Waiting() != 0 {
+		t.Fatalf("InUse=%d Waiting=%d after draining", s.InUse(), s.Waiting())
 	}
 }

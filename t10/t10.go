@@ -14,6 +14,7 @@
 package t10
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -81,6 +82,17 @@ type Options struct {
 	// cover the device, constraints and plan config, so sharing is
 	// always safe.
 	SharedCache *plancache.Cache
+
+	// SharedPool, when non-nil, replaces the compiler's private worker
+	// budget with a server-wide one (built with sema.NewShared): every
+	// CompileModelCtx/SearchOpCtx call first acquires one slot for its
+	// calling goroutine — waiting in the pool's bounded admission queue,
+	// or failing fast with sema.ErrSaturated — and helper workers keep
+	// drawing slots opportunistically, so the total number of live
+	// worker goroutines across every compiler and request sharing the
+	// pool never exceeds its capacity. Workers still bounds how wide a
+	// single compile tries to fan out.
+	SharedPool *sema.Sem
 }
 
 // DefaultOptions returns the paper's defaults.
@@ -100,10 +112,14 @@ type Compiler struct {
 
 	searcher *search.Searcher
 
-	// pool is the compile-wide worker budget (Workers-1 helper slots)
-	// shared by CompileModel's operator pool and the searcher's Fop
-	// shards.
+	// pool is the compile-wide worker budget shared by CompileModel's
+	// operator pool and the searcher's Fop shards: Workers-1 helper
+	// slots when private, or the server-wide Opts.SharedPool.
 	pool *sema.Sem
+
+	// shared records that pool is Opts.SharedPool, so compile entry
+	// points must acquire an admission slot for the calling goroutine.
+	shared bool
 
 	// workers is Opts.Workers with the GOMAXPROCS default resolved.
 	workers int
@@ -122,7 +138,10 @@ func New(spec *device.Spec, opts Options) (*Compiler, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	pool := sema.New(workers - 1)
+	pool := opts.SharedPool
+	if pool == nil {
+		pool = sema.New(workers - 1)
+	}
 	s := search.New(spec, cm, opts.Constraints, opts.PlanConfig)
 	s.KeepAll = opts.KeepAllCandidates
 	s.NoPrune = opts.ExactSpaceAccounting
@@ -136,7 +155,30 @@ func New(spec *device.Spec, opts Options) (*Compiler, error) {
 			Dir:        opts.CacheDir,
 		}))
 	}
-	return &Compiler{Spec: spec, CM: cm, Opts: opts, searcher: s, pool: pool, workers: workers}, nil
+	return &Compiler{
+		Spec: spec, CM: cm, Opts: opts, searcher: s,
+		pool: pool, shared: opts.SharedPool != nil, workers: workers,
+	}, nil
+}
+
+// enter admits the calling goroutine into the worker budget: on a
+// shared pool it must hold an admission slot (waiting in the bounded
+// queue, or failing fast with sema.ErrSaturated), and in every mode it
+// is counted as a live worker for the Peak instrumentation. The
+// returned func undoes both.
+func (c *Compiler) enter(ctx context.Context) (func(), error) {
+	if c.shared {
+		if err := c.pool.Acquire(ctx, 1); err != nil {
+			return nil, err
+		}
+	}
+	c.pool.Enter()
+	return func() {
+		c.pool.Exit()
+		if c.shared {
+			c.pool.Release(1)
+		}
+	}, nil
 }
 
 // PlanCache returns the compiler's plan cache.
@@ -152,12 +194,27 @@ func (c *Compiler) RegisterCostFunc(opName string, f costmodel.CostFunc) {
 }
 
 // SearchOp exposes the intra-operator search (used by the experiment
-// harness and by users compiling single kernels).
+// harness and by users compiling single kernels) with no deadline; see
+// SearchOpCtx.
 func (c *Compiler) SearchOp(e *expr.Expr) (*search.Result, error) {
+	return c.SearchOpCtx(context.Background(), e)
+}
+
+// SearchOpCtx is SearchOp under a context: cancellation or an expired
+// deadline stops the cold enumeration promptly and returns ctx.Err(),
+// with nothing partial cached. On a shared worker budget the calling
+// goroutine first acquires an admission slot (sema.ErrSaturated when
+// the pool's queue is full).
+func (c *Compiler) SearchOpCtx(ctx context.Context, e *expr.Expr) (*search.Result, error) {
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
-	return c.searcher.SearchOp(e)
+	leave, err := c.enter(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer leave()
+	return c.searcher.SearchOpCtx(ctx, e)
 }
 
 // Executable is a compiled model: per-operator idle/active plans plus
@@ -172,22 +229,40 @@ type Executable struct {
 }
 
 // CompileModel searches every operator, reconciles memory across
+// operators and returns the executable, with no deadline; see
+// CompileModelCtx.
+func (c *Compiler) CompileModel(m *graph.Model) (*Executable, error) {
+	return c.CompileModelCtx(context.Background(), m)
+}
+
+// CompileModelCtx searches every operator, reconciles memory across
 // operators and returns the executable. Configurations that cannot fit
-// on-chip return an *interop.InfeasibleError.
+// on-chip return an *interop.InfeasibleError. Cancelling ctx (or an
+// expired deadline) stops the in-flight searches promptly and returns
+// ctx.Err(); completed per-operator results stay cached, partial ones
+// never are. On a shared worker budget the calling goroutine first
+// acquires an admission slot (sema.ErrSaturated when the pool's queue
+// is full).
 //
 // The intra-operator stage is concurrent: unique operator shapes
 // (deduplicated up front, with in-flight deduplication in the searcher
 // backstopping concurrent compiles) are processed by the calling
 // goroutine plus helpers drawn from the compile-wide worker budget —
 // the same budget the cold searches' Fop shards draw from, so the
-// nested pools never exceed Opts.Workers live goroutines in total.
+// nested pools never exceed Opts.Workers live goroutines in total (on
+// a shared pool: the pool capacity, across every sharing compiler).
 // Results land in the content-addressed plan cache. The inter-operator
 // reconciliation (§4.3.2) stays sequential and deterministic, so plan
 // selection is bit-identical at every pool width.
-func (c *Compiler) CompileModel(m *graph.Model) (*Executable, error) {
+func (c *Compiler) CompileModelCtx(ctx context.Context, m *graph.Model) (*Executable, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	leave, err := c.enter(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer leave()
 	start := time.Now()
 
 	// warm the plan cache: unique operator shapes in first-appearance
@@ -205,11 +280,14 @@ func (c *Compiler) CompileModel(m *graph.Model) (*Executable, error) {
 	var next atomic.Int64
 	work := func() {
 		for {
+			if ctx.Err() != nil {
+				return // the searches observe the same ctx and stop too
+			}
 			i := int(next.Add(1)) - 1
 			if i >= len(uniq) {
 				return
 			}
-			if _, err := c.searcher.SearchOp(uniq[i]); err != nil {
+			if _, err := c.searcher.SearchOpCtx(ctx, uniq[i]); err != nil {
 				errs[i] = fmt.Errorf("op %s: %w", uniq[i].Name, err)
 			}
 		}
@@ -225,10 +303,11 @@ func (c *Compiler) CompileModel(m *graph.Model) (*Executable, error) {
 			work()
 		}()
 	}
-	c.pool.Enter()
 	work()
-	c.pool.Exit()
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// report the first failure in model order, independent of pool
 	// scheduling
 	for _, err := range errs {
@@ -240,7 +319,7 @@ func (c *Compiler) CompileModel(m *graph.Model) (*Executable, error) {
 	extraLive := m.ExtraLiveBytes()
 	plans := make([]interop.OpPlans, len(m.Ops))
 	for i := range m.Ops {
-		r, err := c.searcher.SearchOp(m.Ops[i].Expr)
+		r, err := c.searcher.SearchOpCtx(ctx, m.Ops[i].Expr)
 		if err != nil {
 			return nil, err
 		}
@@ -251,7 +330,6 @@ func (c *Compiler) CompileModel(m *graph.Model) (*Executable, error) {
 	}
 
 	var sched *interop.Schedule
-	var err error
 	if c.Opts.InterOp {
 		sched, err = interop.Reconcile(c.Spec, plans, int64(c.Spec.CoreMemBytes))
 	} else {
