@@ -9,7 +9,7 @@ COVER_MIN ?= 79.4
 # Per-target budget for the fuzz smoke run.
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-race bench-search cover fuzz-smoke lint fmt
+.PHONY: build test bench bench-race bench-search cover fuzz-smoke lint fmt apicheck
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,14 @@ cover:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzCompileRequest -fuzztime=$(FUZZTIME) -parallel=4 ./cmd/t10serve
 	$(GO) test -run='^$$' -fuzz=FuzzModelRoundTrip -fuzztime=$(FUZZTIME) -parallel=4 ./internal/graph
+
+# Public-API surface check: compile and run the build-tag-gated t10
+# surface test, which pins every exported symbol — including the
+# deprecated v1 shims — so accidental API breakage fails CI before it
+# reaches a downstream user. (go vet ./... runs in the lint target; CI
+# runs both, vetting once.)
+apicheck:
+	$(GO) test -tags apicheck -run TestAPICheck -count=1 ./t10
 
 lint:
 	$(GO) vet ./...

@@ -8,6 +8,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -87,7 +88,7 @@ func BenchmarkCompileOp(b *testing.B) {
 		// a unique k per iteration defeats the signature-keyed plan
 		// cache, so every iteration pays a cold search
 		e := expr.MatMul(fmt.Sprintf("mm%d", i), 1024, 1024+i, 4096, dtype.FP16)
-		if _, err := c.SearchOp(e); err != nil {
+		if _, err := c.Search(context.Background(), e); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -171,7 +172,7 @@ func BenchmarkAblationInterOp(b *testing.B) {
 			}
 			var latency float64
 			for i := 0; i < b.N; i++ {
-				exe, err := c.CompileModel(models.BERT(1))
+				exe, err := c.Compile(context.Background(), models.BERT(1))
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -7,12 +7,20 @@
 // The server is load-shedding, not best-effort: every concurrent
 // request draws its compile workers from one server-wide budget
 // (internal/sema shared mode), so a burst of requests can never run
-// requests × workers goroutines. Requests beyond the budget wait in a
-// bounded admission queue; past that the server answers 429 with
-// Retry-After. Each request carries a deadline (-compile-timeout, plus
-// whatever the client's context imposes) that cancels the Pareto search
-// mid-enumeration, answered with 503. SIGINT/SIGTERM drain in-flight
-// compiles before exiting.
+// requests × workers goroutines. Admission is cost-weighted: each
+// request is priced first with Compiler.EstimateCost (cache probes +
+// rule-filtered space sizes, no search), so a fully cached request
+// skips admission entirely (it can never be shed) while a cold
+// multi-layer compile acquires several slots' worth of budget — cheap
+// traffic keeps flowing while the pool is saturated with expensive
+// compiles. Requests beyond the budget wait in a bounded admission
+// queue; past that the server answers 429 with Retry-After. Each
+// request carries a deadline (-compile-timeout, plus whatever the
+// client's context imposes) that cancels the Pareto search
+// mid-enumeration, answered with 503; with -detach-on-cancel the
+// in-flight operator searches finish in the background and warm the
+// plan cache, so the client's retry hits instead of recomputing.
+// SIGINT/SIGTERM drain in-flight compiles before exiting.
 //
 // Endpoints:
 //
@@ -58,6 +66,7 @@ func main() {
 	workers := flag.Int("workers", 0, "server-wide compile worker budget shared by every concurrent request (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "admission queue length: requests allowed to wait for a worker slot before the server sheds load with 429")
 	timeout := flag.Duration("compile-timeout", 2*time.Minute, "per-request compile deadline; expired requests answer 503 (0 = no deadline)")
+	detach := flag.Bool("detach-on-cancel", false, "finish (and cache) in-flight operator searches of cancelled requests in the background, so retries hit the plan cache")
 	flag.Parse()
 
 	budget := *workers
@@ -74,11 +83,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "t10serve:", err)
 		os.Exit(1)
 	}
-	log.Printf("t10serve: listening on %s (device %s, budget %d workers, queue %d, compile timeout %v, cache dir %q)",
-		*addr, c.Spec.Name, budget, *queue, *timeout, *cacheDir)
+	log.Printf("t10serve: listening on %s (device %s, budget %d workers, queue %d, compile timeout %v, detach-on-cancel %t, cache dir %q)",
+		*addr, c.Spec.Name, budget, *queue, *timeout, *detach, *cacheDir)
+	hsrv := newServer(c, pool, *timeout)
+	hsrv.detach = *detach
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(c, pool, *timeout).mux(),
+		Handler:           hsrv.mux(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      5 * time.Minute, // big-model compiles take a while
@@ -124,12 +135,18 @@ type server struct {
 	c       *t10.Compiler
 	pool    *sema.Sem     // the shared budget, for /stats and admission gauges
 	timeout time.Duration // per-request compile deadline; 0 = none
+	detach  bool          // cancelled requests warm the cache instead of wasting work
 
 	inFlight     atomic.Int64 // requests currently compiling (or queued for a slot)
 	completed    atomic.Int64 // 200s served
 	rejected     atomic.Int64 // 429s: admission queue full
 	cancelled    atomic.Int64 // 503s: deadline expired / client gone mid-compile
 	encodeErrors atomic.Int64 // response encoding failures (client gone mid-write)
+
+	// cost-weighted admission counters (see /stats)
+	probeRequests  atomic.Int64 // weight-0 requests: estimated fully cached, skipped admission
+	heavyRequests  atomic.Int64 // requests admitted with weight > 1
+	weightAdmitted atomic.Int64 // total admission slots requested across all requests
 }
 
 func newServer(c *t10.Compiler, pool *sema.Sem, timeout time.Duration) *server {
@@ -278,6 +295,27 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// reqOptions prices one request's admission from its cost estimate and
+// assembles the per-request compile options, updating the /stats
+// weight counters. Weight 0 (fully cached) skips admission entirely —
+// the cache-probe fast path that keeps cheap traffic flowing while the
+// pool is saturated with heavy compiles.
+func (s *server) reqOptions(est t10.CostEstimate) []t10.CompileOption {
+	weight := est.Weight(s.pool.Cap())
+	switch {
+	case weight == 0:
+		s.probeRequests.Add(1)
+	case weight > 1:
+		s.heavyRequests.Add(1)
+	}
+	s.weightAdmitted.Add(int64(weight))
+	opts := []t10.CompileOption{t10.WithAdmissionWeight(weight)}
+	if s.detach {
+		opts = append(opts, t10.WithDetachOnCancel())
+	}
+	return opts
+}
+
 func (s *server) compileModel(ctx context.Context, w http.ResponseWriter, req *compileRequest) {
 	batch := req.Batch
 	if batch <= 0 {
@@ -288,8 +326,13 @@ func (s *server) compileModel(ctx context.Context, w http.ResponseWriter, req *c
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	est, err := s.c.EstimateCost(m)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	start := time.Now()
-	exe, err := s.c.CompileModelCtx(ctx, m)
+	exe, err := s.c.Compile(ctx, m, s.reqOptions(est)...)
 	if err != nil {
 		s.compileError(w, "compile "+req.Model, err)
 		return
@@ -332,8 +375,13 @@ func (s *server) compileOp(ctx context.Context, w http.ResponseWriter, spec *opS
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	est, err := s.c.EstimateOpCost(e)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	start := time.Now()
-	res, err := s.c.SearchOpCtx(ctx, e)
+	res, err := s.c.Search(ctx, e, s.reqOptions(est)...)
 	if err != nil {
 		s.compileError(w, "search "+e.Name, err)
 		return
@@ -396,6 +444,12 @@ type statsResponse struct {
 	Rejected     int64 `json:"rejected"`  // 429s: queue full
 	Cancelled    int64 `json:"cancelled"` // 503s: deadline/client cancellation
 	EncodeErrors int64 `json:"encode_errors"`
+
+	// cost-weighted admission: weight-0 cache probes bypass the budget,
+	// heavy requests (> 1 slot) reserve several slots' worth of it
+	ProbeRequests  int64 `json:"probe_requests"`
+	HeavyRequests  int64 `json:"heavy_requests"`
+	WeightAdmitted int64 `json:"weight_admitted"` // total slots requested
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -404,14 +458,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, statsResponse{
-		Budget:       s.pool.Cap(),
-		BusyWorkers:  s.pool.InUse(),
-		InFlight:     s.inFlight.Load(),
-		Queued:       s.pool.Waiting(),
-		Completed:    s.completed.Load(),
-		Rejected:     s.rejected.Load(),
-		Cancelled:    s.cancelled.Load(),
-		EncodeErrors: s.encodeErrors.Load(),
+		Budget:         s.pool.Cap(),
+		BusyWorkers:    s.pool.InUse(),
+		InFlight:       s.inFlight.Load(),
+		Queued:         s.pool.Waiting(),
+		Completed:      s.completed.Load(),
+		Rejected:       s.rejected.Load(),
+		Cancelled:      s.cancelled.Load(),
+		EncodeErrors:   s.encodeErrors.Load(),
+		ProbeRequests:  s.probeRequests.Load(),
+		HeavyRequests:  s.heavyRequests.Load(),
+		WeightAdmitted: s.weightAdmitted.Load(),
 	})
 }
 

@@ -176,6 +176,91 @@ func TestServeSoakUnderSharedBudget(t *testing.T) {
 	}
 }
 
+// TestServeCheapTrafficUnderHeavyLoad is the cost-weighted admission
+// scenario: the pool is saturated with cold, heavy compiles (each
+// admitted at a weight ≥ the pool capacity on this tiny budget), while
+// a stream of cache-probe requests — the same op, already compiled
+// once, so EstimateCost prices them at weight 0 — keeps arriving.
+// Every probe must succeed with 200: weight-0 requests bypass
+// admission, so saturation and even queue overflow (heavy requests may
+// legitimately shed with 429) can never starve cheap traffic.
+func TestServeCheapTrafficUnderHeavyLoad(t *testing.T) {
+	const (
+		budget   = 2
+		queueLen = 1
+		heavies  = 6
+		probes   = 12
+	)
+	s, ts, pool := soakServer(t, budget, queueLen, 0)
+
+	// prime the cache with the cheap op
+	const cheap = `{"op":{"name":"cheap","m":256,"k":256,"n":256}}`
+	if resp := postJSON(t, ts.URL+"/compile", cheap, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("priming compile: %s", resp.Status)
+	}
+
+	var wg sync.WaitGroup
+	heavyStatus := make([]int, heavies)
+	for i := 0; i < heavies; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// unique shapes: every heavy request is a cold search
+			body := fmt.Sprintf(`{"op":{"name":"heavy","m":1024,"k":1024,"n":%d}}`, 2048+128*i)
+			resp := postJSON(t, ts.URL+"/compile", body, nil)
+			heavyStatus[i] = resp.StatusCode
+		}()
+	}
+	probeStatus := make([]int, probes)
+	for i := 0; i < probes; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/compile", cheap, nil)
+			probeStatus[i] = resp.StatusCode
+		}()
+	}
+	wg.Wait()
+
+	for i, st := range probeStatus {
+		if st != http.StatusOK {
+			t.Errorf("cache-probe request %d: status %d, want 200 even under saturation", i, st)
+		}
+	}
+	for i, st := range heavyStatus {
+		if st != http.StatusOK && st != http.StatusTooManyRequests {
+			t.Errorf("heavy request %d: status %d, want 200 or 429", i, st)
+		}
+	}
+	if got := s.probeRequests.Load(); got < probes {
+		t.Errorf("probe_requests = %d, want >= %d (cache probes must be priced at weight 0)", got, probes)
+	}
+	if got := s.heavyRequests.Load(); got < 1 {
+		t.Errorf("heavy_requests = %d, want >= 1 (cold heavy compiles must weigh > 1 slot)", got)
+	}
+	if peak := pool.Peak(); peak > budget {
+		t.Fatalf("live worker peak %d exceeds the shared budget %d", peak, budget)
+	}
+	if inUse := pool.InUse(); inUse != 0 {
+		t.Fatalf("%d budget slots leaked", inUse)
+	}
+
+	var st statsResponse
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ProbeRequests < probes || st.HeavyRequests < 1 || st.WeightAdmitted < st.HeavyRequests*2 {
+		t.Errorf("weight counters not surfaced in /stats: %+v", st)
+	}
+}
+
 // TestCompileDeadlineReturns503 pins the deadline path: a server-side
 // compile timeout that can never be met answers 503 with Retry-After
 // and a JSON error body, and the slot is returned to the budget.

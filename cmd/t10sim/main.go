@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,7 +42,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		exe, err := c.CompileModel(m)
+		exe, err := c.Compile(context.Background(), m)
 		if err != nil {
 			fatal(err)
 		}

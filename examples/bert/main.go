@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 			}
 		}
 
-		exe, err := compiler.CompileModel(m)
+		exe, err := compiler.Compile(context.Background(), m)
 		if err != nil {
 			cells = append(cells, "✖", "-")
 		} else {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,25 +18,28 @@ import (
 
 func main() {
 	spec := device.IPUMK2()
-	compiler, err := t10.New(spec, t10.DefaultOptions())
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	// A batched attention-score operator: S[b,q,k] += Q[b,q,d] * K[b,d,k]
 	// over 128 heads — expressed directly as a tensor expression.
 	op := expr.BatchMatMul("fused_scores", 128, 128, 64, 512, dtype.FP16)
 	fmt.Println("custom operator:", op)
 
-	// A hand-tuned kernel ships with its own cost function: the planner
-	// uses it instead of the fitted linear model.
-	compiler.RegisterCostFunc("fused_scores", func(t kernel.Task) float64 {
-		macs := float64(t.M) * float64(t.N) * float64(t.K)
-		// our imaginary kernel sustains 48 MACs/cycle with a 2 µs launch
-		return 2000 + macs/48/spec.ClockGHz
-	})
+	// A hand-tuned kernel ships with its own cost function, registered
+	// at construction so the compiler stays immutable (its cache keys
+	// cover the registration). This one is monotone in the task shape,
+	// so declaring it via WithMonotoneCostFunc lets the search carry a
+	// compute floor and prune whole subtrees priced by it.
+	compiler, err := t10.New(spec, t10.DefaultOptions(),
+		t10.WithMonotoneCostFunc("fused_scores", func(t kernel.Task) float64 {
+			macs := float64(t.M) * float64(t.N) * float64(t.K)
+			// our imaginary kernel sustains 48 MACs/cycle with a 2 µs launch
+			return 2000 + macs/48/spec.ClockGHz
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	result, err := compiler.SearchOp(op)
+	result, err := compiler.Search(context.Background(), op)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 		for _, bs := range []int{2, 8, 32, 128} {
 			m := models.LLMDecode(cfg, bs)
 			gpuRep := gpu.Estimate(m, a100)
-			exe, err := compiler.CompileModel(m)
+			exe, err := compiler.Compile(context.Background(), m)
 			if err != nil {
 				fmt.Printf("%-14s %-6d %10.3fms %12s %10s\n", name, bs, gpuRep.LatencyMs(), "✖", "-")
 				continue

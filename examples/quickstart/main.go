@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 	op := expr.MatMul("ffn", 1024, 1024, 4096, dtype.FP16)
 	fmt.Println("operator:", op)
 
-	result, err := compiler.SearchOp(op)
+	result, err := compiler.Search(context.Background(), op)
 	if err != nil {
 		log.Fatal(err)
 	}

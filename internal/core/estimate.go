@@ -137,7 +137,7 @@ func (p *Plan) EstimateWith(spec *device.Spec, pred costmodel.Predictor) Estimat
 		ShiftBytesPerCore: p.ShiftBytesPerCore(),
 	}
 	task := p.KernelTask()
-	perStep := pred(task)
+	perStep := pred.Predict(task)
 	est.ComputeNs = float64(p.TotalSteps) * perStep
 
 	syncs := float64(p.TotalSteps) // one per compute phase

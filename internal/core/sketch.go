@@ -4,6 +4,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/device"
 	"repro/internal/expr"
+	"repro/internal/kernel"
 	"repro/internal/mathutil"
 )
 
@@ -64,6 +65,8 @@ type PlanSketch struct {
 	pRotAxis []int
 	pRotLen  []int // per-depth prefix length of pRotTis/pRotAxis
 	pExt     []int // scratch: padded prefix extents
+	pMinExt  []int // scratch: minimal completion sub-task extents
+	pEffCap  []int // scratch: per-axis cap on the final max temporal factor
 }
 
 // NewPlanSketch sizes a sketch for one operator. cfg follows NewPlan's
@@ -96,6 +99,8 @@ func NewPlanSketch(e *expr.Expr, cfg Config) *PlanSketch {
 		pRotAxis: make([]int, 0, 2*nt),
 		pRotLen:  make([]int, nt+1),
 		pExt:     make([]int, na),
+		pMinExt:  make([]int, na),
+		pEffCap:  make([]int, na),
 	}
 	backing := make([]int, nt*na)
 	for ti := range ps.missing {
@@ -268,7 +273,7 @@ func (ps *PlanSketch) LowerBoundNs(spec *device.Spec, pred costmodel.Predictor) 
 			ps.ext[a] = ps.SubLen[a]
 		}
 	}
-	total := float64(ps.TotalSteps) * pred(taskFor(e, ps.ext, ps.steps))
+	total := float64(ps.TotalSteps) * pred.Predict(taskFor(e, ps.ext, ps.steps))
 
 	bw := spec.LinkBytesPerNs()
 	for a := range e.Axes {
@@ -347,9 +352,11 @@ func ftOf(fts [][]int, ti int) []int {
 //     completion (later tensors only grow the padded extents and add
 //     footprint);
 //   - PartialTimeLB never exceeds Plan.EstimateWith(...).TotalNs of any
-//     valid completion. It is predictor-free: the compute term is
-//     bounded by zero because custom cost functions are arbitrary, so
-//     only the shift, all-reduce and sync floors contribute.
+//     valid completion. Without a monotone predictor the compute term
+//     is bounded by zero (custom cost functions are arbitrary by
+//     default), so only the shift, all-reduce and sync floors
+//     contribute; a predictor declaring costmodel.MonotoneLB adds an
+//     admissible compute floor priced at the completion-minimal task.
 //
 // Begin/Fix/Unfix use state disjoint from Compute's scratch: the leaf
 // of the recursion still runs the full Compute on the same sketch.
@@ -512,15 +519,45 @@ func (ps *PlanSketch) PartialMemLB(restMinBytes int64) int64 {
 	return mem
 }
 
-// PartialTimeLB returns an admissible, predictor-free lower bound on
-// TotalNs for every valid completion: the minimum shift traffic of the
-// tensors fixed so far (steps × tile telescopes to extent × partition
-// bytes, which only grow with padding), the exact all-reduce term (it
-// depends on Fop and the padded extents alone), and the minimum sync
-// count. The compute term is zero — custom cost functions are opaque,
-// so no per-step floor is safe. Scaled down like LowerBoundNs to absorb
+// ComputeFloorTask returns the componentwise-minimal sub-task any
+// temporal-factor completion of the current Begin Fop can run one step
+// of: per-axis extents of at least ceil(raw sub-extent / ftCaps[a]),
+// where ftCaps[a] must upper-bound the temporal factor ANY tensor can
+// put on axis a under this Fop (the search derives it from the shared
+// temporal-factor table). Padding only grows extents and the per-axis
+// step count never exceeds the cap, so every completion's per-step task
+// dominates this one componentwise — which makes a predictor declaring
+// the costmodel.MonotoneLB capability, priced here once per Fop, an
+// admissible per-step compute floor for every prefix (see
+// PartialTimeLB). Valid after Begin.
+func (ps *PlanSketch) ComputeFloorTask(ftCaps []int) kernel.Task {
+	for a := range ps.pMinExt {
+		c := ftCaps[a]
+		if c < 1 {
+			c = 1
+		}
+		ps.pEffCap[a] = c
+		ps.pMinExt[a] = (ps.pRaw[a] + c - 1) / c
+	}
+	return taskFor(ps.e, ps.pMinExt, ps.pEffCap)
+}
+
+// PartialTimeLB returns an admissible lower bound on TotalNs for every
+// valid completion: the minimum shift traffic of the tensors fixed so
+// far (steps × tile telescopes to extent × partition bytes, which only
+// grow with padding), the exact all-reduce term (it depends on Fop and
+// the padded extents alone), the minimum sync count — and the caller's
+// per-step compute floor scaled by the prefix's minimum step count.
+//
+// perStepFloorNs must never exceed the predicted per-step time of any
+// completion: 0 is always safe (the predictor-free behaviour — custom
+// cost functions are opaque by default), and a costmodel.MonotoneLB
+// predictor priced at ComputeFloorTask provides a real floor for one
+// taskFor call per Fop instead of one per prefix. Every completion runs
+// at least ∏ prefixMax[a] steps, so stepsLB × perStepFloorNs bounds its
+// compute term from below. Scaled down like LowerBoundNs to absorb
 // summation-order rounding.
-func (ps *PlanSketch) PartialTimeLB(spec *device.Spec) float64 {
+func (ps *PlanSketch) PartialTimeLB(spec *device.Spec, perStepFloorNs float64) float64 {
 	ps.partialExt()
 	e := ps.e
 	max := ps.pMax[ps.pDepth]
@@ -528,8 +565,8 @@ func (ps *PlanSketch) PartialTimeLB(spec *device.Spec) float64 {
 	for a := range e.Axes {
 		stepsLB *= max[a]
 	}
+	total := float64(stepsLB) * perStepFloorNs
 	bw := spec.LinkBytesPerNs()
-	var total float64
 	anyRot := false
 	for a := range e.Axes {
 		if max[a] <= 1 {

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/costmodel"
 	"repro/internal/dtype"
 	"repro/internal/expr"
 )
@@ -127,7 +128,7 @@ func TestPartialBoundsAreAdmissible(t *testing.T) {
 		expr.Pool2D("pool", 4, 8, 12, 12, 2, 2, 2, dtype.FP16),
 	}
 	rng := rand.New(rand.NewSource(7))
-	checked, rejected := 0, 0
+	checked, rejected, floored := 0, 0, 0
 	for _, e := range ops {
 		ps := NewPlanSketch(e, cfg)
 		pred := cm.Resolve(e.Name, e.Kind)
@@ -165,6 +166,30 @@ func TestPartialBoundsAreAdmissible(t *testing.T) {
 				continue
 			}
 
+			// per-step compute floor: admissible against any caps that
+			// cover every tensor's actual factors in the completion
+			perStep := 0.0
+			if costmodel.IsMonotone(pred) {
+				caps := make([]int, len(e.Axes))
+				for a := range caps {
+					caps[a] = 1
+				}
+				for tj := range tensors {
+					if fts == nil || fts[tj] == nil {
+						continue
+					}
+					for d, f := range fts[tj] {
+						dim := tensors[tj].Dims[d]
+						if f > 1 && !dim.Compound() && dim.Terms[0].Stride == 1 {
+							if a := dim.Terms[0].Axis; f > caps[a] {
+								caps[a] = f
+							}
+						}
+					}
+				}
+				perStep = pred.Predict(ps.ComputeFloorTask(caps))
+			}
+
 			fixedAll := true
 			var memLBs []int64
 			var timeLBs []float64
@@ -186,7 +211,11 @@ func TestPartialBoundsAreAdmissible(t *testing.T) {
 					rest += ps.TensorMinBytes(tj, splits[tj])
 				}
 				memLBs = append(memLBs, ps.PartialMemLB(rest))
-				timeLBs = append(timeLBs, ps.PartialTimeLB(cm.Spec))
+				timeLBs = append(timeLBs, ps.PartialTimeLB(cm.Spec, 0))
+				if perStep > 0 {
+					timeLBs = append(timeLBs, ps.PartialTimeLB(cm.Spec, perStep))
+					floored++
+				}
 			}
 			if !fixedAll {
 				rejected++
@@ -212,6 +241,9 @@ func TestPartialBoundsAreAdmissible(t *testing.T) {
 	}
 	if checked < 500 || rejected < 500 {
 		t.Fatalf("generator imbalance: %d checked, %d rejected — property undertested", checked, rejected)
+	}
+	if floored < 500 {
+		t.Fatalf("only %d floored bounds exercised — the MonotoneLB compute floor is undertested", floored)
 	}
 }
 

@@ -18,7 +18,14 @@ type Set struct {
 	acc    map[expr.OpKind]Accuracy
 
 	mu     sync.RWMutex // guards custom: searches read it from a worker pool
-	custom map[string]CostFunc
+	custom map[string]customEntry
+}
+
+// customEntry is one registered custom cost function plus its declared
+// capabilities.
+type customEntry struct {
+	f        CostFunc
+	monotone bool
 }
 
 // trainSamples and evalSamples size the profiling runs; the paper uses
@@ -40,7 +47,7 @@ func NewSet(spec *device.Spec) (*Set, error) {
 		Spec:   spec,
 		models: make(map[expr.OpKind]*Model, len(allKinds)),
 		acc:    make(map[expr.OpKind]Accuracy, len(allKinds)),
-		custom: make(map[string]CostFunc),
+		custom: make(map[string]customEntry),
 	}
 	for i, kind := range allKinds {
 		train := ProfileSamples(spec, kind, trainSamples, int64(1000+i))
@@ -65,10 +72,27 @@ func MustNewSet(spec *device.Spec) *Set {
 }
 
 // RegisterCustom installs a user-supplied cost function for the named
-// operator; it takes precedence over the fitted model.
+// operator; it takes precedence over the fitted model. The function is
+// treated as opaque: subtree pruning cannot assume a compute floor for
+// it (see RegisterCustomMonotone).
 func (s *Set) RegisterCustom(opName string, f CostFunc) {
+	s.register(opName, f, false)
+}
+
+// RegisterCustomMonotone installs a custom cost function that opts into
+// the MonotoneLB capability: the caller declares f is non-decreasing in
+// every kernel.Task field, which lets the search carry an admissible
+// compute floor for whole temporal-factor subtrees priced by this
+// function. Declaring a non-monotone function here can make the search
+// drop plans it should have kept — the declaration is a contract, not a
+// hint.
+func (s *Set) RegisterCustomMonotone(opName string, f CostFunc) {
+	s.register(opName, f, true)
+}
+
+func (s *Set) register(opName string, f CostFunc, monotone bool) {
 	s.mu.Lock()
-	s.custom[opName] = f
+	s.custom[opName] = customEntry{f: f, monotone: monotone}
 	s.mu.Unlock()
 }
 
@@ -82,17 +106,64 @@ func (s *Set) HasCustom(opName string) bool {
 	return ok
 }
 
+// CustomMonotone reports whether the named operator's custom cost
+// function declared the MonotoneLB capability. The plan cache keys on
+// it too: the capability changes the pruning accounting a cached record
+// carries.
+func (s *Set) CustomMonotone(opName string) bool {
+	s.mu.RLock()
+	e, ok := s.custom[opName]
+	s.mu.RUnlock()
+	return ok && e.monotone
+}
+
 // PredictTask estimates the per-core time of a sub-task for the named
 // operator in nanoseconds.
 func (s *Set) PredictTask(opName string, t kernel.Task) float64 {
-	return s.Resolve(opName, t.Kind)(t)
+	return s.Resolve(opName, t.Kind).Predict(t)
 }
 
-// Predictor is a pre-resolved per-operator cost function: the custom
+// Predictor is a pre-resolved per-operator cost predictor: the custom
 // registration (if any) or the fitted model for the operator's kind,
 // bound once so the search's hot loop pays no map lookup or lock per
 // candidate.
-type Predictor func(t kernel.Task) float64
+type Predictor interface {
+	// Predict returns the predicted per-core execution time of the
+	// sub-task in nanoseconds.
+	Predict(t kernel.Task) float64
+}
+
+// MonotoneLB is the optional capability a Predictor can declare:
+// MonotoneLB() returning true asserts Predict is non-decreasing in
+// every kernel.Task field, so Predict evaluated at a componentwise
+// lower bound of a set of tasks never exceeds the prediction for any
+// task in the set. The search uses the capability to give partial
+// temporal-factor assignments an admissible compute floor; a predictor
+// without it contributes a floor of zero (always safe, never wrong —
+// just blunter pruning).
+type MonotoneLB interface {
+	MonotoneLB() bool
+}
+
+// IsMonotone reports whether pred declares the MonotoneLB capability.
+func IsMonotone(pred Predictor) bool {
+	m, ok := pred.(MonotoneLB)
+	return ok && m.MonotoneLB()
+}
+
+// funcPredictor adapts a registered CostFunc (plus its declared
+// capabilities) to the Predictor interface.
+type funcPredictor struct {
+	f        CostFunc
+	monotone bool
+}
+
+func (p funcPredictor) Predict(t kernel.Task) float64 { return p.f(t) }
+func (p funcPredictor) MonotoneLB() bool              { return p.monotone }
+
+// Func wraps a raw cost function as a Predictor with no declared
+// capabilities (for tests and tools that price tasks directly).
+func Func(f CostFunc) Predictor { return funcPredictor{f: f} }
 
 // Resolve returns the Predictor for the named operator of the given
 // kind. The resolution is a snapshot: a custom function (un)registered
@@ -100,16 +171,16 @@ type Predictor func(t kernel.Task) float64
 // fingerprint recheck already treats such mid-search swaps as uncacheable.
 func (s *Set) Resolve(opName string, kind expr.OpKind) Predictor {
 	s.mu.RLock()
-	f, ok := s.custom[opName]
+	e, ok := s.custom[opName]
 	s.mu.RUnlock()
 	if ok {
-		return Predictor(f)
+		return funcPredictor{f: e.f, monotone: e.monotone}
 	}
 	m, ok := s.models[kind]
 	if !ok {
 		panic(fmt.Sprintf("costmodel: no model for kind %v", kind))
 	}
-	return m.Predict
+	return m
 }
 
 // CommNs estimates the duration of a balanced shift moving the given
@@ -128,3 +199,7 @@ func (s *Set) Accuracy(kind expr.OpKind) Accuracy { return s.acc[kind] }
 
 // Kinds returns the operator types with fitted models.
 func (s *Set) Kinds() []expr.OpKind { return append([]expr.OpKind(nil), allKinds...) }
+
+// Model returns the fitted model for one operator type (the MonotoneLB
+// property tests exercise the fitted family directly).
+func (s *Set) Model(kind expr.OpKind) *Model { return s.models[kind] }

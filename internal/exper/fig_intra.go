@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -52,7 +53,7 @@ func (h *Harness) Fig17() (*Table, error) {
 		expr.MatMul("MatMul (NeRF-1)", 65536, 64, 64, dtype.FP16),
 	}
 	for _, e := range ops {
-		r, err := c.SearchOp(e)
+		r, err := c.Search(context.Background(), e)
 		if err != nil {
 			return nil, err
 		}
@@ -85,7 +86,7 @@ func (h *Harness) Fig18() (*Table, error) {
 		Cols:  []string{"Operator", "Complete", "Filtered", "Optimized", "Truncated ft"},
 	}
 	for _, e := range representativeOps() {
-		r, err := c.SearchOp(e)
+		r, err := c.Search(context.Background(), e)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +124,7 @@ func (h *Harness) Fig19() (*Table, error) {
 		}
 		m := models.BERT(1)
 		start := time.Now()
-		exe, err := c.CompileModel(m)
+		exe, err := c.Compile(context.Background(), m)
 		if err != nil {
 			t.Add(cons.ParallelismMin, cons.PaddingMin, cons.MaxFtCombos,
 				time.Since(start).Seconds(), "✖")
@@ -150,7 +151,7 @@ func (h *Harness) Fig20() (*Table, error) {
 		Cols:  []string{"Step", "Idle mem (% of core)", "Est. total (ms)", "Chosen"},
 	}
 	m := models.BERT(1)
-	exe, err := c.CompileModel(m)
+	exe, err := c.Compile(context.Background(), m)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/device"
@@ -104,7 +105,7 @@ func (h *Harness) Fig23() (*Table, error) {
 			m := models.LLMDecode(cfg, bs)
 			gpuRep := gpu.Estimate(m, a100)
 			var ipuRep *perf.Report
-			exe, err := c.CompileModel(m)
+			exe, err := c.Compile(context.Background(), m)
 			if err != nil {
 				ipuRep = &perf.Report{Infeasible: true, Reason: err.Error()}
 			} else {

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -120,7 +121,7 @@ func (h *Harness) runT10(spec *device.Spec, model string, batch int) (*perf.Repo
 		return nil, err
 	}
 	var rep *perf.Report
-	exe, err := c.CompileModel(m)
+	exe, err := c.Compile(context.Background(), m)
 	if err != nil {
 		rep = &perf.Report{Model: model, Compiler: "T10", Infeasible: true, Reason: err.Error()}
 	} else {

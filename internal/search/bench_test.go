@@ -58,6 +58,7 @@ func BenchmarkColdSearch(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(r.Spaces.Priced), "priced/op")
+			b.ReportMetric(float64(r.Spaces.Seeded), "seeded/op")
 			b.ReportMetric(float64(r.Spaces.Pruned), "pruned/op")
 			b.ReportMetric(float64(r.Spaces.CutLeaves), "cut/op")
 			recordBench(b, v.name, r)
@@ -85,6 +86,7 @@ func recordBench(b *testing.B, variant string, r *Result) {
 	cold[variant] = map[string]any{
 		"ns_per_op":    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
 		"priced":       r.Spaces.Priced,
+		"seeded":       r.Spaces.Seeded,
 		"pruned":       r.Spaces.Pruned,
 		"cut_subtrees": r.Spaces.CutSubtrees,
 		"cut_leaves":   r.Spaces.CutLeaves,

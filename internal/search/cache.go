@@ -24,19 +24,31 @@ import (
 // became engine-dependent (exact only on the no-prune path, which the
 // fingerprint now separates), and TruncatedFtCombos moved to the
 // deterministic pre-pass.
-const resultFormat = 3
+//
+// v4: the subtree bound gained a compute floor for predictors declaring
+// the costmodel.MonotoneLB capability and the advisory frontier is
+// seeded before the search (insert-before-search), both of which change
+// the Priced/Pruned/Cut accounting a record carries; custom cost
+// functions additionally carry their monotone declaration in the key.
+const resultFormat = 4
 
 // fingerprint derives the content-addressed cache key for one operator
 // search. It covers everything the search outcome depends on: the
 // device, the constraints, the plan-construction config, whether all
 // candidates are retained, whether a custom cost function overrides the
-// fitted model for this operator (keyed by name — re-registering a
-// different function under the same name is the caller's hazard), and
-// the operator's canonical shape signature.
+// fitted model for this operator — including its declared MonotoneLB
+// capability, since the compute floor changes the pruning accounting a
+// record carries (keyed by name — re-registering a different function
+// under the same name is the caller's hazard; the t10 layer closes it
+// by fixing the registration set at construction), and the operator's
+// canonical shape signature.
 func (s *Searcher) fingerprint(e *expr.Expr) plancache.Key {
 	custom := ""
 	if s.CM.HasCustom(e.Name) {
 		custom = e.Name
+		if s.CM.CustomMonotone(e.Name) {
+			custom += "|monotone"
+		}
 	}
 	return plancache.Fingerprint(
 		fmt.Sprintf("t10-plan-v%d", resultFormat),
@@ -74,6 +86,7 @@ type resultRecord struct {
 	Optimized int               `json:"optimized"`
 	Priced    int               `json:"priced,omitempty"`
 	Pruned    int               `json:"pruned,omitempty"`
+	Seeded    int               `json:"seeded,omitempty"`
 	CutTrees  int               `json:"cut_subtrees,omitempty"`
 	CutLeaves int               `json:"cut_leaves,omitempty"`
 	TruncFt   int               `json:"truncated_ft,omitempty"`
@@ -97,6 +110,7 @@ func encodeResult(r *Result) ([]byte, error) {
 		Optimized: r.Spaces.Optimized,
 		Priced:    r.Spaces.Priced,
 		Pruned:    r.Spaces.Pruned,
+		Seeded:    r.Spaces.Seeded,
 		CutTrees:  r.Spaces.CutSubtrees,
 		CutLeaves: r.Spaces.CutLeaves,
 		TruncFt:   r.Spaces.TruncatedFtCombos,
@@ -155,6 +169,7 @@ func decodeResult(e *expr.Expr, cfg core.Config, blob []byte) (*Result, error) {
 	r.Spaces.Optimized = rec.Optimized
 	r.Spaces.Priced = rec.Priced
 	r.Spaces.Pruned = rec.Pruned
+	r.Spaces.Seeded = rec.Seeded
 	r.Spaces.CutSubtrees = rec.CutTrees
 	r.Spaces.CutLeaves = rec.CutLeaves
 	r.Spaces.TruncatedFtCombos = rec.TruncFt

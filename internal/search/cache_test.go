@@ -178,7 +178,7 @@ func TestCorruptDiskEntryFallsBackToSearch(t *testing.T) {
 // error, returns real plans (not the bogus cached ones) and overwrites
 // the record with the current version.
 func TestStaleVersionRecordIsMissNotError(t *testing.T) {
-	for _, format := range []int{1, 2, resultFormat + 1} {
+	for _, format := range []int{1, 2, 3, resultFormat + 1} {
 		dir := t.TempDir()
 		e := expr.MatMul("mm", 256, 512, 512, dtype.FP16)
 		s := newSearcher()

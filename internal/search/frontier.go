@@ -3,6 +3,7 @@ package search
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Frontier is an incrementally maintained memory/time Pareto frontier
@@ -82,20 +83,29 @@ func (f *Frontier) Len() int { return len(f.ents) }
 // of priced candidates has landed so far, and any subset yields only
 // safe prunes, so the insertion order races between workers never
 // affect the final Pareto set — only how many candidates get priced.
+//
+// Reads vastly outnumber writes (every leaf and subtree bound queries
+// dominance; only priced frontier survivors insert), so the frontier is
+// published as an immutable copy-on-write snapshot: dominated() is one
+// atomic load plus a binary search, with no lock on the hot path, and
+// add() serializes writers while copying the few dozen entries.
 type pruneFrontier struct {
-	mu sync.RWMutex
-	f  Frontier
+	mu   sync.Mutex // serializes writers
+	snap atomic.Pointer[Frontier]
 }
 
 func (pf *pruneFrontier) dominated(mem int64, lowerNs float64) bool {
-	pf.mu.RLock()
-	d := pf.f.Dominated(mem, lowerNs)
-	pf.mu.RUnlock()
-	return d
+	f := pf.snap.Load()
+	return f != nil && f.Dominated(mem, lowerNs)
 }
 
 func (pf *pruneFrontier) add(c Candidate) {
 	pf.mu.Lock()
-	pf.f.Insert(c)
+	next := &Frontier{}
+	if cur := pf.snap.Load(); cur != nil {
+		next.ents = append(make([]Candidate, 0, len(cur.ents)+1), cur.ents...)
+	}
+	next.Insert(c)
+	pf.snap.Store(next)
 	pf.mu.Unlock()
 }

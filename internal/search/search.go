@@ -17,13 +17,19 @@
 // slots from a compile-wide budget (internal/sema), and the
 // temporal-factor recursion itself is pruned: a partial assignment's
 // admissible lower bounds on per-core memory and TotalNs
-// (core.PlanSketch's incremental form) cut whole subtrees against the
-// streaming frontier before the deeper tensors are enumerated. Each
-// surviving candidate then passes the cheap full-sketch phase (exact
-// memory, padded extents, a TotalNs lower bound) before core.NewPlan or
-// the full estimate run, and every distinct kernel task is priced by
-// the cost model exactly once per worker. A deterministic merge keeps
-// the selected Pareto set bit-identical to the sequential, unpruned
+// (core.PlanSketch's incremental form — carrying a compute floor when
+// the cost predictor declares the costmodel.MonotoneLB capability) cut
+// whole subtrees against the streaming frontier before the deeper
+// tensors are enumerated. The frontier itself is seeded before any
+// worker starts (insert-before-search) with real candidates spanning
+// the head shards' memory/time range, so even the first-processed shard
+// prunes against something. Each surviving candidate then passes the
+// cheap full-sketch phase (exact memory, padded extents, a TotalNs
+// lower bound), and a shard's survivors are fully priced in
+// bound-ascending order (two-phase leaf pricing), so pricing approaches
+// the offline minimum; every distinct kernel task is priced by the cost
+// model exactly once per worker. A deterministic merge keeps the
+// selected Pareto set bit-identical to the sequential, unpruned
 // enumeration at every worker count.
 //
 // The whole engine is context-aware (SearchOpCtx): cancellation is
@@ -42,6 +48,7 @@ import (
 	"math"
 	"math/big"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -108,6 +115,14 @@ type Spaces struct {
 	// set is not).
 	Priced int
 	Pruned int
+
+	// Seeded counts the insert-before-search frontier seeds that were
+	// fully priced (core.NewPlan + estimate) before any shard ran.
+	// Seeds are duplicates of candidates the shards enumerate anyway,
+	// so they are deliberately outside the Priced+Pruned==Filtered
+	// accounting — but they are real pricing work, reported here so the
+	// total (Priced + Seeded) stays honest.
+	Seeded int
 
 	// CutSubtrees counts the partial temporal-factor assignments whose
 	// admissible (memory, time) lower bounds were already dominated by
@@ -236,6 +251,30 @@ func (s *Searcher) SetCache(c *plancache.Cache) {
 
 // Cache returns the searcher's plan cache (for stats endpoints).
 func (s *Searcher) Cache() *plancache.Cache { return s.cache }
+
+// Cached reports whether e's search would be answered from the
+// in-memory plan cache right now. It is a stat-free Peek — an
+// observation for admission control, not a use — and deliberately
+// ignores the disk layer (a disk hit still costs a read and a decode,
+// which is not free under load). Advisory: a concurrent eviction can
+// invalidate the answer before the search runs.
+func (s *Searcher) Cached(e *expr.Expr) bool {
+	_, ok := s.cache.Peek(s.fingerprint(e))
+	return ok
+}
+
+// FopCount returns the number of rule-filtered operator partition
+// candidates a cold search of e would shard — the no-search work proxy
+// behind cost-weighted admission (every shard expands into its
+// temporal-factor subtree, so the count tracks total search work
+// without running any of it). It walks the space without materializing
+// it: the admission pre-pass runs per request, so it must not allocate
+// per candidate.
+func (s *Searcher) FopCount(e *expr.Expr) int {
+	n := 0
+	s.walkFops(e, func([]int) { n++ })
+	return n
+}
 
 // SearchOp finds the Pareto-optimal plans for one operator with no
 // deadline; see SearchOpCtx.
@@ -379,7 +418,15 @@ func (s *Searcher) searchOp(ctx context.Context, e *expr.Expr) (*Result, error) 
 	// ordering pass's predictions seed every worker's task memo, so they
 	// are never re-predicted.
 	seed := make(map[kernel.Task]float64)
-	order := s.shardOrder(e, fops, memoPredictor(seed, pred), pf != nil)
+	seedPred := &memoPred{memo: seed, pred: pred}
+	order := s.shardOrder(e, fops, seedPred, pf != nil)
+	if pf != nil {
+		// Insert-before-search: price spanning candidates from the
+		// best-first head shards into the advisory frontier before any
+		// shard is processed, so even the very first shard prunes
+		// against a warm frontier instead of an empty one.
+		r.Spaces.Seeded = s.seedFrontier(e, fops, order, table, seedPred, pf)
+	}
 	shards := make([]fopShard, len(fops))
 	var next atomic.Int64
 	var cancelled atomic.Bool
@@ -404,16 +451,28 @@ func (s *Searcher) searchOp(ctx context.Context, e *expr.Expr) (*Result, error) 
 			w.processFop(fops[oi], &shards[oi], pf)
 		}
 	}
+	// Helpers spend the request's prepaid admission credit (slots its
+	// caller already holds — see sema.Credit) before drawing from the
+	// pool, so a weighted request's reservation works instead of idling.
+	credit := sema.CreditFrom(ctx)
 	var wg sync.WaitGroup
-	for n := s.searchWorkers(len(fops)); n > 1 && pool.TryAcquire(1); n-- {
+	for n := s.searchWorkers(len(fops)); n > 1; n-- {
+		fromCredit := credit.Take()
+		if !fromCredit && !pool.TryAcquire(1) {
+			break
+		}
 		wg.Add(1)
-		go func() {
+		go func(fromCredit bool) {
 			defer wg.Done()
-			defer pool.Release(1)
+			if fromCredit {
+				defer credit.Put()
+			} else {
+				defer pool.Release(1)
+			}
 			pool.Enter()
 			defer pool.Exit()
 			work()
-		}()
+		}(fromCredit)
 	}
 	// The complete-space estimator is independent of the enumeration;
 	// overlap it with the workers when a slot is left over (it must not
@@ -508,6 +567,112 @@ func (s *Searcher) shardOrder(e *expr.Expr, fops [][]int, pred costmodel.Predict
 	return order
 }
 
+// seedFrontier warms the advisory frontier before any worker starts,
+// with real candidates spanning each shard's memory/time range: the
+// replicated (no temporal factor) candidate — the fastest plan of the
+// shard, exactly what the best-first ordering pass already sketched —
+// plus the precomputed per-tensor diagonals at the seedLevels
+// quantiles, reaching from the low-memory extreme into the mid-memory
+// region where the final frontier's dominators live. All seeds are
+// sketched first, then priced in bound-ascending order with a
+// dominance re-check, so only the Pareto progression of the seed set
+// pays core.NewPlan; everything dominated is skipped unpriced. The
+// first-processed shard then prunes against a frontier that already
+// spans the space instead of an empty one.
+//
+// Safety: every seed is also enumerated normally inside its own shard,
+// so the final Pareto merge still sees it in enumeration order; a seed
+// never prunes its own twin because the twin's scaled bound stays
+// strictly below its exact time, and pruning against a seed whose twin
+// is itself pruned is covered by the same finite-chain argument the
+// racing advisory frontier already relies on. The in-shard twin carries
+// the Priced/Pruned accounting (so Priced+Pruned==Filtered is
+// untouched); the number of seeds actually priced is returned and
+// reported as Spaces.Seeded, keeping the total pricing work visible.
+// Predictions land in the shared seed memo, so workers never re-predict
+// them.
+func (s *Searcher) seedFrontier(e *expr.Expr, fops [][]int, order []int, table *ftTable, pred costmodel.Predictor, pf *pruneFrontier) int {
+	sketch := core.NewPlanSketch(e, s.Cfg)
+	tensors := e.Tensors()
+	last := len(tensors) - 1
+	fts := make([][]int, last+1)
+	key := make([]int, last+1)
+
+	// level -1 is the replicated candidate; levels ≥ 0 index seedLevels.
+	// key captures each tensor's chosen combo index (-1 for nil), so
+	// levels that collapse to the same assignment dedupe exactly.
+	setFts := func(fop []int, level int) {
+		for ti, tr := range tensors {
+			fts[ti], key[ti] = nil, -1
+			if level < 0 || ti == last {
+				continue
+			}
+			if set := table.sets[ti][tensorShare(e, tr, fop)]; set.diag != nil {
+				ci := set.diag[level]
+				fts[ti], key[ti] = set.combos[ci], ci
+			}
+		}
+	}
+	type seedRec struct {
+		fopIdx int
+		level  int
+		mem    int64
+		lb     float64
+	}
+	// Only the head of the best-first order is seeded: it holds the
+	// highest-parallelism shards whose candidates dominate the rest, and
+	// the Fop-level bound then cuts most later shards wholesale, so
+	// sketching seeds for them too would be pure overhead.
+	head := order
+	if len(head) > seedShards {
+		head = head[:seedShards]
+	}
+	var recs []seedRec
+	seen := make(map[int][][]int, len(head)) // fopIdx → accepted keys
+	for level := -1; level < len(seedLevels); level++ {
+	shards:
+		for _, oi := range head {
+			setFts(fops[oi], level)
+			for _, k := range seen[oi] {
+				if slices.Equal(k, key) {
+					continue shards // identical assignment already seeded
+				}
+			}
+			if !sketch.Compute(fops[oi], fts) {
+				continue
+			}
+			if !s.sketchPaddingOK(e, fops[oi], sketch.SubLen) {
+				continue
+			}
+			if sketch.MemPerCore > int64(s.Spec.CoreMemBytes) {
+				continue
+			}
+			seen[oi] = append(seen[oi], append([]int(nil), key...))
+			recs = append(recs, seedRec{
+				fopIdx: oi, level: level,
+				mem: sketch.MemPerCore,
+				lb:  sketch.LowerBoundNs(s.CM.Spec, pred),
+			})
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].lb < recs[j].lb })
+	seeded := 0
+	for i := range recs {
+		rec := &recs[i]
+		if pf.dominated(rec.mem, rec.lb) {
+			continue
+		}
+		setFts(fops[rec.fopIdx], rec.level)
+		p, err := core.NewPlan(e, fops[rec.fopIdx], fts, s.Cfg)
+		if err != nil {
+			continue
+		}
+		pf.add(Candidate{Plan: p, Est: p.EstimateWith(s.CM.Spec, pred)})
+		seeded++
+	}
+	return seeded
+}
+
 // ftTable is the per-search read-only temporal-factor table: one
 // ftChoices outcome per (tensor, sharing degree) pair, shared by all
 // workers.
@@ -547,12 +712,36 @@ func (s *Searcher) buildFtTable(e *expr.Expr, fops [][]int) (*ftTable, int) {
 			if !ok {
 				combos, trunc := s.ftChoices(tr, share)
 				maxProd := 1
+				maxFactor := make([]int, len(tr.Dims))
+				for d := range maxFactor {
+					maxFactor[d] = 1
+				}
 				for _, c := range combos {
 					if p := mathutil.Prod(c...); p > maxProd {
 						maxProd = p
 					}
+					for d, f := range c {
+						if f > maxFactor[d] {
+							maxFactor[d] = f
+						}
+					}
 				}
-				cs = ftChoiceSet{combos: combos, truncated: trunc, maxProd: maxProd}
+				cs = ftChoiceSet{combos: combos, truncated: trunc, maxProd: maxProd, maxFactor: maxFactor}
+				if maxProd > 1 {
+					// frontier-seeding diagonals: first enumerated wins a
+					// distance tie, so the picks are deterministic
+					cs.diag = make([]int, len(seedLevels))
+					for li, q := range seedLevels {
+						target := math.Log(float64(maxProd)) * q
+						bestDiff := math.Inf(1)
+						for ci, c := range combos {
+							d := math.Abs(math.Log(float64(mathutil.Prod(c...))) - target)
+							if d < bestDiff {
+								cs.diag[li], bestDiff = ci, d
+							}
+						}
+					}
+				}
 				t.sets[ti][share] = cs
 			}
 			if cs.truncated {
@@ -593,10 +782,28 @@ type searchWorker struct {
 	memoPred costmodel.Predictor
 	taskMemo map[kernel.Task]float64
 
+	// floor is memoPred when the resolved predictor declares the
+	// costmodel.MonotoneLB capability (fitted models with non-negative
+	// coefficients, custom functions registered via
+	// RegisterCustomMonotone), nil otherwise: it gives partial
+	// assignments an admissible compute floor instead of zero.
+	floor costmodel.Predictor
+
 	perTensor  [][][]int
 	fts        [][]int
 	restMin    []int64 // restMin[ti]: min footprint of tensors ti.. under the current Fop
 	leavesFrom []int   // leavesFrom[ti]: complete assignments below a fixed tensor ti
+	axisCap    []int   // axisCap[a]: max temporal factor any tensor can put on axis a (current Fop)
+
+	// Two-phase leaf pricing scratch: the recursion (phase A) records
+	// each surviving leaf as its mixed-radix enumeration index plus the
+	// sketch's exact memory and admissible time bound; phase B prices
+	// the records in bound-ascending order — so a shard's own fastest
+	// candidates enter the advisory frontier before its slower ones are
+	// checked — and restores enumeration order before the merge.
+	leafRecs  []leafRec
+	choiceIdx []int
+	survivors []indexedCand
 
 	// Cancellation plumbing: ctx is polled every leafCheckInterval leaf
 	// visits (ctx.Err() is too costly per leaf); cancelled is the
@@ -630,50 +837,91 @@ func (w *searchWorker) checkCancel() bool {
 	return w.stop
 }
 
+// seedLevels are the ∏ft quantiles (as exponents of the set's maxProd)
+// the frontier seeding samples per tensor: the low-memory extreme plus
+// two mid-spectrum diagonals, where the final frontier's dominators
+// tend to live. The replicated (no temporal factor) candidate is always
+// seeded separately.
+var seedLevels = [...]float64{1, 0.5, 0.25}
+
+// seedShards caps how many best-first shards the frontier seeding
+// sketches; see seedFrontier.
+const seedShards = 16
+
 // ftChoiceSet is one temporal-factor table entry.
 type ftChoiceSet struct {
 	combos    [][]int
 	truncated bool
-	maxProd   int // max ∏ft over combos, for the remaining-footprint bound
+	maxProd   int   // max ∏ft over combos, for the remaining-footprint bound
+	maxFactor []int // per-dim max factor over combos, for the compute-floor caps
+	diag      []int // per seed level: index of the combo with ∏ft nearest maxProd^level
 }
 
 func newSearchWorker(s *Searcher, e *expr.Expr, pred costmodel.Predictor, table *ftTable, seed map[kernel.Task]float64) *searchWorker {
 	tensors := e.Tensors()
+	nt, na := len(tensors), len(e.Axes)
 	w := &searchWorker{
 		s: s, e: e, tensors: tensors, table: table,
 		ctx: context.Background(), cancelled: new(atomic.Bool),
 		taskMemo:   make(map[kernel.Task]float64, len(seed)),
 		sketch:     core.NewPlanSketch(e, s.Cfg),
-		perTensor:  make([][][]int, len(tensors)),
-		fts:        make([][]int, len(tensors)),
-		restMin:    make([]int64, len(tensors)+1),
-		leavesFrom: make([]int, len(tensors)),
+		perTensor:  make([][][]int, nt),
+		fts:        make([][]int, nt),
+		restMin:    make([]int64, nt+1),
+		leavesFrom: make([]int, nt),
+		axisCap:    make([]int, na),
+		choiceIdx:  make([]int, nt),
 	}
 	for task, ns := range seed {
 		w.taskMemo[task] = ns
 	}
-	w.memoPred = memoPredictor(w.taskMemo, pred)
+	w.memoPred = &memoPred{memo: w.taskMemo, pred: pred}
+	if costmodel.IsMonotone(pred) {
+		w.floor = w.memoPred
+	}
 	return w
 }
 
-// memoPredictor wraps a predictor with a single-goroutine memo keyed by
-// the kernel task. Custom cost functions must therefore be
-// deterministic; the memo guarantees identical floats for identical
-// tasks, which the bit-identical plan selection relies on.
-func memoPredictor(memo map[kernel.Task]float64, pred costmodel.Predictor) costmodel.Predictor {
-	return func(t kernel.Task) float64 {
-		if ns, ok := memo[t]; ok {
-			return ns
-		}
-		ns := pred(t)
-		memo[t] = ns
+// memoPred wraps a predictor with a single-goroutine memo keyed by the
+// kernel task, and forwards the wrapped predictor's MonotoneLB
+// capability. Custom cost functions must therefore be deterministic;
+// the memo guarantees identical floats for identical tasks, which the
+// bit-identical plan selection relies on.
+type memoPred struct {
+	memo map[kernel.Task]float64
+	pred costmodel.Predictor
+}
+
+func (m *memoPred) Predict(t kernel.Task) float64 {
+	if ns, ok := m.memo[t]; ok {
 		return ns
 	}
+	ns := m.pred.Predict(t)
+	m.memo[t] = ns
+	return ns
 }
+
+func (m *memoPred) MonotoneLB() bool { return costmodel.IsMonotone(m.pred) }
 
 // ftNoSplit is the single "no temporal partitioning" choice, shared
 // read-only.
 var ftNoSplit = [][]int{nil}
+
+// leafRec is one phase-A survivor: the leaf's mixed-radix enumeration
+// index (Σ choiceIdx[ti] × leavesFrom[ti]), its exact per-core memory
+// and its admissible TotalNs lower bound.
+type leafRec struct {
+	idx int
+	mem int64
+	lb  float64
+}
+
+// indexedCand tags a priced candidate with its leaf enumeration index
+// so phase B can restore enumeration order before the merge.
+type indexedCand struct {
+	idx int
+	c   Candidate
+}
 
 // processFop enumerates and evaluates every temporal-factor assignment
 // under one Fop. The output tensor never takes temporal factors. The
@@ -700,47 +948,81 @@ func (w *searchWorker) processFop(fop []int, out *fopShard, pf *pruneFrontier) {
 	if !w.sketch.Begin(fop) {
 		return
 	}
-	// Remaining-footprint suffix sums and subtree leaf counts for this
-	// Fop: restMin is the admissible minimum per-core footprint of the
-	// not-yet-fixed tensors, leavesFrom sizes the subtree a cut skips.
+	// Remaining-footprint suffix sums, subtree leaf counts and — when
+	// the predictor carries a compute floor — one Fop-wide per-axis cap
+	// on temporal factors: restMin is the admissible minimum per-core
+	// footprint of the not-yet-fixed tensors, leavesFrom sizes the
+	// subtree a cut skips, and axisCap[a] upper-bounds the factor ANY
+	// tensor of this Fop can put on axis a (what ComputeFloorTask's
+	// minimal extents divide by — one cap and one floor task per Fop,
+	// deliberately not per depth: the floor's steps term already
+	// tightens with the prefix, and a per-depth task would cost a
+	// taskFor per Fix instead of one per Fop).
 	w.restMin[len(w.tensors)] = 0
 	leaves := 1
+	floor := w.floor
+	if floor != nil {
+		for a := range w.axisCap {
+			w.axisCap[a] = 1
+		}
+	}
 	for ti := last; ti >= 0; ti-- {
 		maxSplit := 1
 		if ti != last {
-			maxSplit = w.table.sets[ti][tensorShare(w.e, w.tensors[ti], fop)].maxProd
+			set := w.table.sets[ti][tensorShare(w.e, w.tensors[ti], fop)]
+			maxSplit = set.maxProd
+			if floor != nil {
+				for d, f := range set.maxFactor {
+					if f > 1 {
+						a := w.tensors[ti].Dims[d].Terms[0].Axis
+						if f > w.axisCap[a] {
+							w.axisCap[a] = f
+						}
+					}
+				}
+			}
 		}
 		w.restMin[ti] = w.restMin[ti+1] + w.sketch.TensorMinBytes(ti, maxSplit)
 		w.leavesFrom[ti] = leaves
 		leaves *= len(w.perTensor[ti])
+	}
+	// Per-step compute floor for the whole Fop: one taskFor + predict
+	// here buys every prefix bound below a compute term (scaled by its
+	// own minimum step count) instead of zero.
+	perStepFloor := 0.0
+	if floor != nil {
+		perStepFloor = floor.Predict(w.sketch.ComputeFloorTask(w.axisCap))
 	}
 
 	subtree := !s.NoSubtree
 	coreMem := int64(s.Spec.CoreMemBytes)
 	if subtree && leaves > 1 {
 		// Fop-level bound: the empty prefix already prices the minimum
-		// footprint of every tensor and the all-reduce/sync floor.
+		// footprint of every tensor, the all-reduce/sync floor and (with
+		// a monotone predictor) one compute step at the minimal task.
 		memLB := w.sketch.PartialMemLB(w.restMin[0])
 		if memLB > coreMem {
 			return // every assignment exceeds core memory
 		}
-		if pf != nil && pf.dominated(memLB, w.sketch.PartialTimeLB(s.CM.Spec)) {
+		if pf != nil && pf.dominated(memLB, w.sketch.PartialTimeLB(s.CM.Spec, perStepFloor)) {
 			out.cutSubtrees++
 			out.cutLeaves += leaves
 			return
 		}
 	}
+	w.leafRecs = w.leafRecs[:0]
 	var rec func(ti int)
 	rec = func(ti int) {
 		if ti == len(w.tensors) {
 			w.consider(fop, out, pf)
 			return
 		}
-		for _, choice := range w.perTensor[ti] {
+		for ci, choice := range w.perTensor[ti] {
 			if w.stop {
 				return // cancelled: unwind without visiting further leaves
 			}
 			w.fts[ti] = choice
+			w.choiceIdx[ti] = ci
 			if !w.sketch.Fix(choice) {
 				continue // invalid for every completion; nothing enters Filtered
 			}
@@ -757,7 +1039,7 @@ func (w *searchWorker) processFop(fop []int, out *fopShard, pf *pruneFrontier) {
 					w.sketch.Unfix()
 					continue // every leaf fails the memory filter
 				}
-				if pf != nil && pf.dominated(memLB, w.sketch.PartialTimeLB(s.CM.Spec)) {
+				if pf != nil && pf.dominated(memLB, w.sketch.PartialTimeLB(s.CM.Spec, perStepFloor)) {
 					out.cutSubtrees++
 					out.cutLeaves += w.leavesFrom[ti]
 					w.sketch.Unfix()
@@ -769,12 +1051,74 @@ func (w *searchWorker) processFop(fop []int, out *fopShard, pf *pruneFrontier) {
 		}
 	}
 	rec(0)
+	if pf != nil && !w.stop {
+		w.priceLeaves(fop, out, pf)
+	}
 }
 
-// consider evaluates one (Fop, fts) candidate: sketch first, full plan
-// and estimate only if the sketch survives the frontier bound. The
-// estimate reuses the sketch's per-step prediction through the task
-// memo, so no kernel task is priced twice.
+// priceLeaves is phase B of one shard: the recorded survivors are
+// priced in (lb, enumeration index) order, so the shard's own fastest
+// candidates warm the advisory frontier before its slower ones are
+// re-checked against it — within a shard, pricing approaches the
+// offline minimum instead of paying for enumeration order. Survivors
+// are restored to enumeration order before they reach the shard's
+// candidate list, so the deterministic merge (and with it the final
+// Pareto set and its tie-breaks) is exactly what single-phase pricing
+// produces.
+func (w *searchWorker) priceLeaves(fop []int, out *fopShard, pf *pruneFrontier) {
+	s := w.s
+	slices.SortFunc(w.leafRecs, func(a, b leafRec) int {
+		if a.lb != b.lb {
+			if a.lb < b.lb {
+				return -1
+			}
+			return 1
+		}
+		return a.idx - b.idx
+	})
+	w.survivors = w.survivors[:0]
+	for i := range w.leafRecs {
+		// phase B carries the expensive per-leaf work now, so it polls
+		// cancellation at the same every-few-hundred cadence the
+		// recursion does — an expired deadline must not keep pricing a
+		// whole shard's survivors
+		if w.checkCancel() {
+			return
+		}
+		rec := &w.leafRecs[i]
+		if pf.dominated(rec.mem, rec.lb) {
+			out.pruned++
+			continue
+		}
+		// decode the mixed-radix leaf index back into the assignment
+		idx := rec.idx
+		for ti := range w.tensors {
+			w.fts[ti] = w.perTensor[ti][idx/w.leavesFrom[ti]]
+			idx %= w.leavesFrom[ti]
+		}
+		p, err := core.NewPlan(w.e, fop, w.fts, s.Cfg)
+		if err != nil {
+			// the sketch mirrors every NewPlan check, so this is unreachable;
+			// skipping keeps the search robust if they ever drift
+			continue
+		}
+		c := Candidate{Plan: p, Est: p.EstimateWith(s.CM.Spec, w.memoPred)}
+		w.survivors = append(w.survivors, indexedCand{idx: rec.idx, c: c})
+		pf.add(c)
+	}
+	slices.SortFunc(w.survivors, func(a, b indexedCand) int { return a.idx - b.idx })
+	for i := range w.survivors {
+		out.cands = append(out.cands, w.survivors[i].c)
+	}
+}
+
+// consider evaluates one (Fop, fts) candidate: sketch first, then —
+// with pruning on — a phase-A record (leaf index, exact memory,
+// admissible bound) for the ordered phase-B pricing, already skipping
+// leaves the frontier dominates right now; with pruning off, the full
+// plan and estimate are built immediately in enumeration order (the
+// reference path). The estimate reuses the sketch's per-step prediction
+// through the task memo, so no kernel task is priced twice.
 func (w *searchWorker) consider(fop []int, out *fopShard, pf *pruneFrontier) {
 	if w.checkCancel() {
 		return
@@ -796,6 +1140,12 @@ func (w *searchWorker) consider(fop []int, out *fopShard, pf *pruneFrontier) {
 			out.pruned++
 			return
 		}
+		idx := 0
+		for ti := range w.tensors {
+			idx += w.choiceIdx[ti] * w.leavesFrom[ti]
+		}
+		w.leafRecs = append(w.leafRecs, leafRec{idx: idx, mem: w.sketch.MemPerCore, lb: lb})
+		return
 	}
 	p, err := core.NewPlan(w.e, fop, w.fts, s.Cfg)
 	if err != nil {
@@ -803,11 +1153,7 @@ func (w *searchWorker) consider(fop []int, out *fopShard, pf *pruneFrontier) {
 		// skipping keeps the search robust if they ever drift
 		return
 	}
-	c := Candidate{Plan: p, Est: p.EstimateWith(s.CM.Spec, w.memoPred)}
-	out.cands = append(out.cands, c)
-	if pf != nil {
-		pf.add(c)
-	}
+	out.cands = append(out.cands, Candidate{Plan: p, Est: p.EstimateWith(s.CM.Spec, w.memoPred)})
 }
 
 // axisCandidates returns the Fop values considered for one axis: exact
@@ -863,9 +1209,21 @@ func (s *Searcher) paddingOK(e *expr.Expr, p *core.Plan) bool {
 }
 
 // enumerateFops lists the operator partition factors passing the
-// parallelism constraint. Gather axes are never spatially partitioned
-// (the table shards temporally instead).
+// parallelism constraint.
 func (s *Searcher) enumerateFops(e *expr.Expr) [][]int {
+	var out [][]int
+	s.walkFops(e, func(fop []int) {
+		out = append(out, append([]int(nil), fop...))
+	})
+	return out
+}
+
+// walkFops runs fn for every operator partition factor passing the
+// parallelism constraint, in enumeration order; fop is borrowed (fn
+// must copy to retain). Gather axes are never spatially partitioned
+// (the table shards temporally instead). FopCount walks without
+// materializing, so the admission-cost pre-pass allocates nothing.
+func (s *Searcher) walkFops(e *expr.Expr, fn func(fop []int)) {
 	cands := make([][]int, len(e.Axes))
 	for a, ax := range e.Axes {
 		if ax.Kind == expr.Gather {
@@ -894,13 +1252,12 @@ func (s *Searcher) enumerateFops(e *expr.Expr) [][]int {
 	walk(0, 1)
 
 	minProd := int(s.Cons.ParallelismMin * float64(maxProd))
-	var out [][]int
 	fop := make([]int, len(cands))
 	var gen func(a, prod int)
 	gen = func(a, prod int) {
 		if a == len(cands) {
 			if prod >= minProd {
-				out = append(out, append([]int(nil), fop...))
+				fn(fop)
 			}
 			return
 		}
@@ -924,7 +1281,6 @@ func (s *Searcher) enumerateFops(e *expr.Expr) [][]int {
 		}
 	}
 	gen(0, 1)
-	return out
 }
 
 // ftChoices lists the temporal factor vectors of one tensor: products of

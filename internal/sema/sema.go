@@ -36,7 +36,72 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
+
+// Credit is a prepaid helper allowance. A request admitted with weight
+// N holds N budget slots for its lifetime; without a credit those extra
+// slots would just sit reserved while the request's own worker pools
+// fail TryAcquire against them — the most expensive compile in the
+// system would run single-threaded while holding the whole budget. The
+// request instead hands its pools a Credit of N-1: a helper first takes
+// a credit (consuming reserved capacity the caller already paid for)
+// and only then falls back to TryAcquire. Live-worker accounting stays
+// intact — every credited helper is backed by one of the caller's held
+// slots, so workers never exceed slots held.
+//
+// Credits travel by context (WithCredit / CreditFrom) because the
+// searcher is shared across requests: per-request allowances cannot
+// live on it.
+type Credit struct{ n atomic.Int64 }
+
+// NewCredit returns an allowance of n helper slots; n <= 0 yields an
+// empty (but usable) credit.
+func NewCredit(n int) *Credit {
+	c := &Credit{}
+	if n > 0 {
+		c.n.Store(int64(n))
+	}
+	return c
+}
+
+// Take consumes one credited slot, reporting whether one was left. A
+// nil Credit always refuses.
+func (c *Credit) Take() bool {
+	if c == nil {
+		return false
+	}
+	for {
+		n := c.n.Load()
+		if n <= 0 {
+			return false
+		}
+		if c.n.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// Put returns one credited slot.
+func (c *Credit) Put() {
+	if c != nil {
+		c.n.Add(1)
+	}
+}
+
+// creditKey carries a *Credit through a context.
+type creditKey struct{}
+
+// WithCredit attaches a prepaid helper allowance to the context.
+func WithCredit(ctx context.Context, c *Credit) context.Context {
+	return context.WithValue(ctx, creditKey{}, c)
+}
+
+// CreditFrom extracts the context's helper allowance, or nil.
+func CreditFrom(ctx context.Context) *Credit {
+	c, _ := ctx.Value(creditKey{}).(*Credit)
+	return c
+}
 
 // ErrSaturated is returned by Acquire when the admission queue of a
 // shared-budget semaphore is full: the caller should shed load (HTTP

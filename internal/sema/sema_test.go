@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -312,5 +313,84 @@ func TestCancelledLargeWaiterWakesSmallerOnes(t *testing.T) {
 	s.Release(2)
 	if s.InUse() != 0 || s.Waiting() != 0 {
 		t.Fatalf("InUse=%d Waiting=%d after draining", s.InUse(), s.Waiting())
+	}
+}
+
+// TestCredit pins the prepaid helper allowance: exactly n Takes
+// succeed, Put returns capacity, nil credits refuse safely, and the
+// context plumbing round-trips.
+func TestCredit(t *testing.T) {
+	c := NewCredit(2)
+	if !c.Take() || !c.Take() {
+		t.Fatal("a 2-credit must grant two Takes")
+	}
+	if c.Take() {
+		t.Fatal("an exhausted credit granted a Take")
+	}
+	c.Put()
+	if !c.Take() {
+		t.Fatal("Put did not restore capacity")
+	}
+
+	var nilCredit *Credit
+	if nilCredit.Take() {
+		t.Fatal("nil credit granted a Take")
+	}
+	nilCredit.Put() // must not panic
+
+	if NewCredit(-3).Take() {
+		t.Fatal("negative-capacity credit granted a Take")
+	}
+
+	ctx := WithCredit(context.Background(), c)
+	if CreditFrom(ctx) != c {
+		t.Fatal("credit lost through the context")
+	}
+	if CreditFrom(context.Background()) != nil {
+		t.Fatal("bare context produced a credit")
+	}
+}
+
+// TestCreditConcurrent hammers Take/Put from many goroutines: the
+// number of concurrently outstanding Takes must never exceed the
+// capacity.
+func TestCreditConcurrent(t *testing.T) {
+	const capacity = 3
+	c := NewCredit(capacity)
+	var out, peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if !c.Take() {
+					runtime.Gosched()
+					continue
+				}
+				n := out.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				runtime.Gosched() // hold the credit across a reschedule
+				out.Add(-1)
+				c.Put()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > capacity {
+		t.Fatalf("outstanding credit peak %d exceeds capacity %d", p, capacity)
+	}
+	for i := 0; i < capacity; i++ {
+		if !c.Take() {
+			t.Fatalf("credit slot %d lost after the concurrent Take/Put hammering", i)
+		}
+	}
+	if c.Take() {
+		t.Fatal("credit gained capacity after the concurrent Take/Put hammering")
 	}
 }

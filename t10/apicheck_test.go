@@ -1,0 +1,114 @@
+//go:build apicheck
+
+// Package-surface check, gated behind the apicheck build tag and run by
+// `make apicheck` in CI: it references every public symbol of the t10
+// package — the v2 entry points, the per-request and construction
+// options, AND the deprecated v1 shims — so an accidental signature
+// change or symbol removal breaks this file's compilation before it
+// breaks a downstream user. The single test does one tiny end-to-end
+// pass; everything else only needs to compile.
+package t10_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/models"
+	"repro/internal/plancache"
+	"repro/internal/search"
+	"repro/internal/sema"
+	"repro/t10"
+)
+
+// Signature pins: assigning the methods to typed variables fails to
+// compile the moment a signature drifts.
+var (
+	_ func(*device.Spec, t10.Options, ...t10.CompilerOption) (*t10.Compiler, error) = t10.New
+	_ func() t10.Options                                                            = t10.DefaultOptions
+
+	_ func(string, costmodel.CostFunc) t10.CompilerOption = t10.WithCostFunc
+	_ func(string, costmodel.CostFunc) t10.CompilerOption = t10.WithMonotoneCostFunc
+	_ func(int) t10.CompileOption                         = t10.WithAdmissionWeight
+	_ func() t10.CompileOption                            = t10.WithDetachOnCancel
+
+	// v2 entry points
+	_ func(*t10.Compiler, context.Context, *graph.Model, ...t10.CompileOption) (*t10.Executable, error) = (*t10.Compiler).Compile
+	_ func(*t10.Compiler, context.Context, *expr.Expr, ...t10.CompileOption) (*search.Result, error)    = (*t10.Compiler).Search
+	_ func(*t10.Compiler, *graph.Model) (t10.CostEstimate, error)                                       = (*t10.Compiler).EstimateCost
+	_ func(*t10.Compiler, *expr.Expr) (t10.CostEstimate, error)                                         = (*t10.Compiler).EstimateOpCost
+	_ func(t10.CostEstimate, int) int                                                                   = t10.CostEstimate.Weight
+
+	// deprecated v1 shims — kept compiling until a major break is declared
+	_ func(*t10.Compiler, *graph.Model) (*t10.Executable, error)                  = (*t10.Compiler).CompileModel
+	_ func(*t10.Compiler, context.Context, *graph.Model) (*t10.Executable, error) = (*t10.Compiler).CompileModelCtx
+	_ func(*t10.Compiler, *expr.Expr) (*search.Result, error)                     = (*t10.Compiler).SearchOp
+	_ func(*t10.Compiler, context.Context, *expr.Expr) (*search.Result, error)    = (*t10.Compiler).SearchOpCtx
+	_ func(*t10.Compiler, string, costmodel.CostFunc)                             = (*t10.Compiler).RegisterCostFunc
+
+	// observability surface (Executable.Simulate is exercised in the
+	// runtime check below, where its concrete return type is in scope)
+	_ func(*t10.Compiler) *plancache.Cache = (*t10.Compiler).PlanCache
+	_ func(*t10.Compiler) plancache.Stats  = (*t10.Compiler).CacheStats
+)
+
+// Struct-field pins: Options and CostEstimate are part of the API.
+var (
+	_ = t10.Options{
+		Constraints:          search.Constraints{},
+		InterOp:              true,
+		KeepAllCandidates:    false,
+		Workers:              1,
+		ExactSpaceAccounting: false,
+		CacheDir:             "",
+		CacheEntries:         0,
+		SharedCache:          (*plancache.Cache)(nil),
+		SharedPool:           (*sema.Sem)(nil),
+	}
+	_ = t10.CostEstimate{Ops: 1, CachedOps: 1, ColdOps: 0, ColdFops: 0}
+	_ = t10.WeightFopUnit
+)
+
+// TestAPICheck is the one runtime pass: a tiny device, one op, every
+// entry point touched once.
+func TestAPICheck(t *testing.T) {
+	f := func(task kernel.Task) float64 { return float64(task.M*task.N) + 1 }
+	c, err := t10.New(device.IPUMK2().Subset(16), t10.DefaultOptions(),
+		t10.WithCostFunc("custom", f), t10.WithMonotoneCostFunc("mono", f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := expr.MatMul("mm", 64, 64, 64, dtype.FP16)
+	if _, err := c.Search(context.Background(), e, t10.WithAdmissionWeight(1), t10.WithDetachOnCancel()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SearchOp(e); err != nil {
+		t.Fatal(err)
+	}
+	est, err := c.EstimateOpCost(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Weight(4) != 0 {
+		t.Fatalf("cached op weight = %d, want 0", est.Weight(4))
+	}
+	m := models.TransformerTrainingStep(1, 16, 32, 64, 1)
+	if _, err := c.EstimateCost(m); err != nil {
+		t.Fatal(err)
+	}
+	exe, err := c.Compile(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := exe.Simulate(); rep.TotalNs <= 0 {
+		t.Fatal("no latency")
+	}
+	if c.PlanCache() == nil || c.CacheStats().Entries == 0 {
+		t.Fatal("cache observability broken")
+	}
+}

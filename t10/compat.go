@@ -1,0 +1,60 @@
+package t10
+
+// The v1 entry points, kept as one-line shims so existing callers keep
+// compiling (and as the fixtures of the v1/v2 equivalence test). Each
+// is exactly its v2 replacement with default request options, so plans,
+// cache contents and error behaviour are identical by construction —
+// the equivalence test pins that anyway.
+
+import (
+	"context"
+
+	"repro/internal/costmodel"
+	"repro/internal/expr"
+	"repro/internal/graph"
+	"repro/internal/search"
+)
+
+// CompileModel searches every operator, reconciles memory across
+// operators and returns the executable, with no deadline.
+//
+// Deprecated: use Compile, which takes a context and per-request
+// options.
+func (c *Compiler) CompileModel(m *graph.Model) (*Executable, error) {
+	return c.Compile(context.Background(), m)
+}
+
+// CompileModelCtx is CompileModel under a context.
+//
+// Deprecated: use Compile.
+func (c *Compiler) CompileModelCtx(ctx context.Context, m *graph.Model) (*Executable, error) {
+	return c.Compile(ctx, m)
+}
+
+// SearchOp exposes the intra-operator search with no deadline.
+//
+// Deprecated: use Search, which takes a context and per-request
+// options.
+func (c *Compiler) SearchOp(e *expr.Expr) (*search.Result, error) {
+	return c.Search(context.Background(), e)
+}
+
+// SearchOpCtx is SearchOp under a context.
+//
+// Deprecated: use Search.
+func (c *Compiler) SearchOpCtx(ctx context.Context, e *expr.Expr) (*search.Result, error) {
+	return c.Search(ctx, e)
+}
+
+// RegisterCostFunc installs a custom cost function for the named
+// operator by mutating the compiler after construction.
+//
+// Deprecated: pass WithCostFunc (or WithMonotoneCostFunc) to New
+// instead. Construction-scoped registration makes the compiler
+// immutable and its cache keys permanent; RegisterCostFunc still works,
+// but a registration racing an in-flight search for the same operator
+// leaves that one result uncacheable (the searcher's fingerprint
+// recheck discards it) — the exact hazard the v2 API removes.
+func (c *Compiler) RegisterCostFunc(opName string, f costmodel.CostFunc) {
+	c.CM.RegisterCustom(opName, f)
+}

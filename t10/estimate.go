@@ -1,0 +1,101 @@
+package t10
+
+import (
+	"repro/internal/expr"
+	"repro/internal/graph"
+)
+
+// CostEstimate summarizes the EstimateCost pre-pass: how much search
+// work a request would trigger, from cache probes and rule-filtered
+// space sizes alone — no Pareto search runs. It feeds cost-weighted
+// admission (see WithAdmissionWeight): a fully cached request is
+// nearly free, a cold large-model compile is not, and a load-shedding
+// server should not charge them the same.
+type CostEstimate struct {
+	// Ops is the number of unique operator shapes in the request
+	// (duplicates share one search, so only unique shapes cost).
+	Ops int
+
+	// CachedOps counts unique shapes answerable from the in-memory
+	// plan cache right now (a stat-free probe; the disk layer is
+	// deliberately not consulted — see search.Searcher.Cached).
+	CachedOps int
+
+	// ColdOps counts unique shapes that would run a fresh Pareto
+	// search.
+	ColdOps int
+
+	// ColdFops is the total number of rule-filtered operator partition
+	// candidates across the cold shapes — the search-work proxy: every
+	// partition candidate expands into its temporal-factor subtree, so
+	// the count tracks how much enumeration a compile would pay.
+	ColdFops int
+}
+
+// WeightFopUnit is the number of cold partition candidates that add
+// one admission slot beyond the first: a single cold matmul (a few
+// dozen candidates) stays near weight 1-2, while a cold multi-layer
+// model climbs toward the pool capacity.
+const WeightFopUnit = 64
+
+// Weight maps the estimate onto admission slots for a shared pool of
+// the given capacity: 0 for fully cached requests (the cache-probe
+// fast path — skip admission entirely), otherwise one slot plus one
+// per WeightFopUnit cold partition candidates, clamped to the
+// capacity so a single huge compile can always be admitted.
+func (e CostEstimate) Weight(capacity int) int {
+	if e.ColdOps == 0 {
+		return 0
+	}
+	w := 1 + e.ColdFops/WeightFopUnit
+	if capacity > 0 && w > capacity {
+		w = capacity
+	}
+	return w
+}
+
+// EstimateCost predicts how much search work compiling m would
+// trigger, without running any of it: unique operator shapes are
+// probed against the in-memory plan cache, and the cold ones are
+// priced by their rule-filtered partition-candidate count. The
+// estimate is advisory — a concurrent compile or eviction can change
+// the cache between the estimate and the compile — which is exactly
+// the right contract for admission control.
+func (c *Compiler) EstimateCost(m *graph.Model) (CostEstimate, error) {
+	if err := m.Validate(); err != nil {
+		return CostEstimate{}, err
+	}
+	var est CostEstimate
+	seen := make(map[string]bool, len(m.Ops))
+	for i := range m.Ops {
+		e := m.Ops[i].Expr
+		sig := e.Signature()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		est.Ops++
+		if c.searcher.Cached(e) {
+			est.CachedOps++
+			continue
+		}
+		est.ColdOps++
+		est.ColdFops += c.searcher.FopCount(e)
+	}
+	return est, nil
+}
+
+// EstimateOpCost is EstimateCost for a single-operator search.
+func (c *Compiler) EstimateOpCost(e *expr.Expr) (CostEstimate, error) {
+	if err := e.Validate(); err != nil {
+		return CostEstimate{}, err
+	}
+	est := CostEstimate{Ops: 1}
+	if c.searcher.Cached(e) {
+		est.CachedOps = 1
+		return est, nil
+	}
+	est.ColdOps = 1
+	est.ColdFops = c.searcher.FopCount(e)
+	return est, nil
+}

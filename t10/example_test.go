@@ -1,0 +1,130 @@
+package t10_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+	"repro/internal/kernel"
+	"repro/internal/models"
+	"repro/t10"
+)
+
+// The basic v2 flow: one compiler per device, one Compile call per
+// model, everything under a context.
+func ExampleCompiler_Compile() {
+	c, err := t10.New(device.IPUMK2(), t10.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	exe, err := c.Compile(context.Background(), models.BERT(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ops planned:", len(exe.Plans) == len(exe.Model.Ops))
+	fmt.Println("fits on chip:", exe.Schedule.IdleMemPerCore <= int64(c.Spec.CoreMemBytes))
+	// Output:
+	// ops planned: true
+	// fits on chip: true
+}
+
+// Per-request options ride on the Compile call: a deadline comes from
+// the context, WithDetachOnCancel converts a cancelled request's
+// in-flight operator searches into plan-cache warm-up (the retry hits
+// instead of recomputing), and WithAdmissionWeight prices the request's
+// admission on a shared worker budget (see Options.SharedPool and
+// Compiler.EstimateCost).
+func ExampleCompiler_Compile_options() {
+	c, err := t10.New(device.IPUMK2(), t10.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	m := models.BERT(1)
+	est, err := c.EstimateCost(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exe, err := c.Compile(ctx, m,
+		t10.WithAdmissionWeight(est.Weight(8)),
+		t10.WithDetachOnCancel(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled:", len(exe.Plans) > 0)
+	// Output:
+	// compiled: true
+}
+
+// Search is the single-operator entry point: the intra-operator Pareto
+// search (§4.3.1), answering from the plan cache when warm.
+func ExampleCompiler_Search() {
+	c, err := t10.New(device.IPUMK2(), t10.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := c.Search(context.Background(), expr.MatMul("ffn", 1024, 1024, 4096, dtype.FP16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("found a trade-off frontier:", len(r.Pareto) > 1)
+	// Output:
+	// found a trade-off frontier: true
+}
+
+// Custom cost functions are construction-scoped: the registration set
+// is fixed at New (and covered by the plan-cache fingerprint), so the
+// compiler is immutable and cache keys can never go stale.
+func ExampleWithCostFunc() {
+	spec := device.IPUMK2()
+	c, err := t10.New(spec, t10.DefaultOptions(),
+		t10.WithCostFunc("fused", func(t kernel.Task) float64 {
+			macs := float64(t.M) * float64(t.N) * float64(t.K)
+			return 2000 + macs/48/spec.ClockGHz
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := c.Search(context.Background(), expr.MatMul("fused", 512, 512, 512, dtype.FP16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plans priced by the custom kernel model:", len(r.Pareto) > 0)
+	// Output:
+	// plans priced by the custom kernel model: true
+}
+
+// EstimateCost prices a request before compiling it — cache probes plus
+// rule-filtered space sizes, no search — so a server can weight
+// admission by predicted cost instead of charging every request one
+// slot.
+func ExampleCompiler_EstimateCost() {
+	c, err := t10.New(device.IPUMK2(), t10.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := models.BERT(1)
+	cold, err := c.EstimateCost(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cold model needs search work:", cold.ColdOps > 0 && cold.Weight(8) > 1)
+
+	if _, err := c.Compile(context.Background(), m); err != nil {
+		log.Fatal(err)
+	}
+	warm, err := c.EstimateCost(models.BERT(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled model is a free probe:", warm.ColdOps == 0 && warm.Weight(8) == 0)
+	// Output:
+	// cold model needs search work: true
+	// compiled model is a free probe: true
+}

@@ -8,9 +8,22 @@
 // Typical use:
 //
 //	c, _ := t10.New(device.IPUMK2(), t10.DefaultOptions())
-//	exe, _ := c.CompileModel(models.BERT(8))
+//	exe, _ := c.Compile(ctx, models.BERT(8))
 //	report := exe.Simulate()
 //	fmt.Printf("latency: %.3f ms\n", report.LatencyMs())
+//
+// The API separates compiler-lifetime configuration from request-scoped
+// policy. Options (plus CompilerOption values like WithCostFunc)
+// configure a Compiler at construction, after which it is immutable —
+// custom cost functions are part of its plan-cache fingerprint, so
+// cache keys can never go stale. Compile and Search take a context plus
+// per-request CompileOption values: WithAdmissionWeight prices a
+// request's admission on a shared worker budget by its predicted
+// compile cost (see Compiler.EstimateCost), and WithDetachOnCancel
+// turns a cancelled request's in-flight operator searches into cache
+// warm-up instead of discarded work. The v1 entry points
+// (CompileModel, CompileModelCtx, SearchOp, SearchOpCtx,
+// RegisterCostFunc) remain as deprecated one-line shims.
 package t10
 
 import (
@@ -104,7 +117,36 @@ func DefaultOptions() Options {
 	}
 }
 
-// Compiler compiles models for one device.
+// CompilerOption configures a Compiler at construction — the only
+// moment configuration is possible: a Compiler is immutable after New,
+// so the plan-cache fingerprint (which covers the registration set)
+// can never go stale under it.
+type CompilerOption func(c *Compiler)
+
+// WithCostFunc registers a custom cost function for the named operator
+// (the §4.3.1 user interface for custom kernels); it takes precedence
+// over the fitted model when pricing that operator's candidates. The
+// function is treated as opaque: subtree pruning cannot assume a
+// compute floor for it (see WithMonotoneCostFunc).
+func WithCostFunc(opName string, f costmodel.CostFunc) CompilerOption {
+	return func(c *Compiler) { c.CM.RegisterCustom(opName, f) }
+}
+
+// WithMonotoneCostFunc is WithCostFunc plus the costmodel.MonotoneLB
+// capability declaration: the caller asserts f is non-decreasing in
+// every kernel.Task field, which lets the search carry an admissible
+// compute floor for whole temporal-factor subtrees priced by f.
+// Declaring a non-monotone function here can make the search drop
+// plans it should have kept — the declaration is a contract, not a
+// hint.
+func WithMonotoneCostFunc(opName string, f costmodel.CostFunc) CompilerOption {
+	return func(c *Compiler) { c.CM.RegisterCustomMonotone(opName, f) }
+}
+
+// Compiler compiles models for one device. It is immutable after New
+// and safe for concurrent use: every mutable structure it touches (the
+// plan cache, the in-flight search deduplication, the worker budget)
+// is internally synchronized.
 type Compiler struct {
 	Spec *device.Spec
 	CM   *costmodel.Set
@@ -125,8 +167,11 @@ type Compiler struct {
 	workers int
 }
 
-// New profiles the device, fits the cost models and returns a compiler.
-func New(spec *device.Spec, opts Options) (*Compiler, error) {
+// New profiles the device, fits the cost models, applies the
+// construction-scoped options (custom cost functions) and returns a
+// compiler. The compiler is immutable afterwards: its plan-cache
+// fingerprints cover the full registration set fixed here.
+func New(spec *device.Spec, opts Options, copts ...CompilerOption) (*Compiler, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -155,30 +200,69 @@ func New(spec *device.Spec, opts Options) (*Compiler, error) {
 			Dir:        opts.CacheDir,
 		}))
 	}
-	return &Compiler{
+	c := &Compiler{
 		Spec: spec, CM: cm, Opts: opts, searcher: s,
 		pool: pool, shared: opts.SharedPool != nil, workers: workers,
-	}, nil
+	}
+	for _, o := range copts {
+		if o != nil {
+			o(c)
+		}
+	}
+	return c, nil
 }
 
 // enter admits the calling goroutine into the worker budget: on a
-// shared pool it must hold an admission slot (waiting in the bounded
-// queue, or failing fast with sema.ErrSaturated), and in every mode it
-// is counted as a live worker for the Peak instrumentation. The
-// returned func undoes both.
-func (c *Compiler) enter(ctx context.Context) (func(), error) {
-	if c.shared {
-		if err := c.pool.Acquire(ctx, 1); err != nil {
-			return nil, err
-		}
+// shared pool it must hold `weight` admission slots (waiting in the
+// bounded queue, or failing fast with sema.ErrSaturated), and it is
+// counted as a live worker for the Peak instrumentation. The returned
+// func undoes both.
+//
+// Weight semantics on a shared pool: weight slots are reserved for the
+// request's whole lifetime, so an expensive compile admits as several
+// requests' worth of load while a default request costs one slot. The
+// extra weight-1 slots are not dead reservation: they come back as a
+// sema.Credit the request's own worker pools spend first (see
+// withCredit), so a heavy compile gets the parallelism it paid for.
+// Weight 0 is the cache-probe fast path — the request declared (via
+// EstimateCost) that it does no search work, so it skips the budget
+// and its instrumentation entirely; a mis-estimate still compiles
+// correctly, just unbudgeted (the estimate is advisory). On a private
+// pool the weight is ignored.
+//
+// The second return is the granted weight after clamping (0 on private
+// pools and probes).
+func (c *Compiler) enter(ctx context.Context, weight int) (func(), int, error) {
+	if !c.shared {
+		c.pool.Enter()
+		return func() { c.pool.Exit() }, 0, nil
+	}
+	if weight <= 0 {
+		return func() {}, 0, nil
+	}
+	if max := c.pool.Cap(); weight > max {
+		weight = max
+	}
+	if err := c.pool.Acquire(ctx, weight); err != nil {
+		return nil, 0, err
 	}
 	c.pool.Enter()
 	return func() {
 		c.pool.Exit()
-		if c.shared {
-			c.pool.Release(1)
-		}
-	}, nil
+		c.pool.Release(weight)
+	}, weight, nil
+}
+
+// withCredit attaches the request's prepaid helper allowance — the
+// granted admission weight beyond the caller's own slot — to the
+// context the searches run under. Worker pools spend the credit before
+// TryAcquire, so every credited helper is backed by a slot the request
+// already holds (live workers still never exceed slots held).
+func withCredit(ctx context.Context, granted int) context.Context {
+	if granted > 1 {
+		return sema.WithCredit(ctx, sema.NewCredit(granted-1))
+	}
+	return ctx
 }
 
 // PlanCache returns the compiler's plan cache.
@@ -187,34 +271,50 @@ func (c *Compiler) PlanCache() *plancache.Cache { return c.searcher.Cache() }
 // CacheStats snapshots the plan cache counters (the /cachestats data).
 func (c *Compiler) CacheStats() plancache.Stats { return c.searcher.Cache().Stats() }
 
-// RegisterCostFunc installs a custom cost function for the named
-// operator (the §4.3.1 user interface for custom kernels).
-func (c *Compiler) RegisterCostFunc(opName string, f costmodel.CostFunc) {
-	c.CM.RegisterCustom(opName, f)
-}
-
-// SearchOp exposes the intra-operator search (used by the experiment
-// harness and by users compiling single kernels) with no deadline; see
-// SearchOpCtx.
-func (c *Compiler) SearchOp(e *expr.Expr) (*search.Result, error) {
-	return c.SearchOpCtx(context.Background(), e)
-}
-
-// SearchOpCtx is SearchOp under a context: cancellation or an expired
-// deadline stops the cold enumeration promptly and returns ctx.Err(),
-// with nothing partial cached. On a shared worker budget the calling
-// goroutine first acquires an admission slot (sema.ErrSaturated when
-// the pool's queue is full).
-func (c *Compiler) SearchOpCtx(ctx context.Context, e *expr.Expr) (*search.Result, error) {
+// Search runs the intra-operator Pareto search for one operator (used
+// by the serving path and by users compiling single kernels).
+// Cancellation or an expired deadline stops a cold enumeration promptly
+// and returns ctx.Err(), with nothing partial cached — unless
+// WithDetachOnCancel is set, in which case the in-flight enumeration
+// finishes in the background and lands in the plan cache, so a retry
+// becomes a warm hit. On a shared worker budget the calling goroutine
+// first acquires its admission slots (WithAdmissionWeight many;
+// sema.ErrSaturated when the pool's queue is full).
+func (c *Compiler) Search(ctx context.Context, e *expr.Expr, opts ...CompileOption) (*search.Result, error) {
+	ro := resolveReqOptions(opts)
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
-	leave, err := c.enter(ctx)
+	leave, granted, err := c.enter(ctx, ro.weight)
 	if err != nil {
 		return nil, err
 	}
-	defer leave()
-	return c.searcher.SearchOpCtx(ctx, e)
+	ctx = withCredit(ctx, granted)
+	if !ro.detach {
+		defer leave()
+		return c.searcher.SearchOpCtx(ctx, e)
+	}
+	// Detach-on-cancel: the search itself runs under a cancellation-free
+	// context on its own goroutine, holding the admission slots until it
+	// finishes (the work is still running, so the budget must still see
+	// it); the caller returns ctx.Err() as soon as ctx dies, and the
+	// completed result lands in the plan cache for the retry.
+	type outcome struct {
+		r   *search.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer leave()
+		r, err := c.searcher.SearchOpCtx(context.WithoutCancel(ctx), e)
+		done <- outcome{r, err}
+	}()
+	select {
+	case o := <-done:
+		return o.r, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // Executable is a compiled model: per-operator idle/active plans plus
@@ -228,21 +328,18 @@ type Executable struct {
 	CompileTime time.Duration
 }
 
-// CompileModel searches every operator, reconciles memory across
-// operators and returns the executable, with no deadline; see
-// CompileModelCtx.
-func (c *Compiler) CompileModel(m *graph.Model) (*Executable, error) {
-	return c.CompileModelCtx(context.Background(), m)
-}
-
-// CompileModelCtx searches every operator, reconciles memory across
-// operators and returns the executable. Configurations that cannot fit
-// on-chip return an *interop.InfeasibleError. Cancelling ctx (or an
-// expired deadline) stops the in-flight searches promptly and returns
+// Compile searches every operator, reconciles memory across operators
+// and returns the executable. Configurations that cannot fit on-chip
+// return an *interop.InfeasibleError. Cancelling ctx (or an expired
+// deadline) stops the in-flight searches promptly and returns
 // ctx.Err(); completed per-operator results stay cached, partial ones
-// never are. On a shared worker budget the calling goroutine first
-// acquires an admission slot (sema.ErrSaturated when the pool's queue
-// is full).
+// never are. With WithDetachOnCancel, cancellation instead lets the
+// operator searches already in flight finish in the background and
+// enter the plan cache (no new ops are started), so a retry of the same
+// model resumes from warm entries. On a shared worker budget the
+// calling goroutine first acquires its admission slots
+// (WithAdmissionWeight many; sema.ErrSaturated when the pool's queue is
+// full).
 //
 // The intra-operator stage is concurrent: unique operator shapes
 // (deduplicated up front, with in-flight deduplication in the searcher
@@ -254,15 +351,52 @@ func (c *Compiler) CompileModel(m *graph.Model) (*Executable, error) {
 // Results land in the content-addressed plan cache. The inter-operator
 // reconciliation (§4.3.2) stays sequential and deterministic, so plan
 // selection is bit-identical at every pool width.
-func (c *Compiler) CompileModelCtx(ctx context.Context, m *graph.Model) (*Executable, error) {
+func (c *Compiler) Compile(ctx context.Context, m *graph.Model, opts ...CompileOption) (*Executable, error) {
+	ro := resolveReqOptions(opts)
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	leave, err := c.enter(ctx)
+	leave, granted, err := c.enter(ctx, ro.weight)
 	if err != nil {
 		return nil, err
 	}
-	defer leave()
+	ctx = withCredit(ctx, granted)
+	if !ro.detach {
+		defer leave()
+		return c.compileModel(ctx, ctx, m)
+	}
+	// Detach-on-cancel: the body keeps ctx for its loop boundaries (so
+	// no NEW operator search starts after cancellation) but hands the
+	// searches a cancellation-free context, runs on its own goroutine,
+	// and holds the admission slots until the in-flight searches have
+	// finished and been cached. The caller returns ctx.Err()
+	// immediately; the retry finds the warm entries.
+	type outcome struct {
+		exe *Executable
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer leave()
+		exe, err := c.compileModel(ctx, context.WithoutCancel(ctx), m)
+		done <- outcome{exe, err}
+	}()
+	select {
+	case o := <-done:
+		return o.exe, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// compileModel is Compile's body. reqCtx bounds the request: it is
+// checked at every scheduling boundary, and once it dies no new
+// operator search starts and the compile returns reqCtx.Err().
+// searchCtx is what the operator searches themselves observe — the same
+// context normally, a cancellation-free one in detach mode, which is
+// exactly the difference between abandoning in-flight work and
+// converting it into cache warm-up.
+func (c *Compiler) compileModel(reqCtx, searchCtx context.Context, m *graph.Model) (*Executable, error) {
 	start := time.Now()
 
 	// warm the plan cache: unique operator shapes in first-appearance
@@ -280,32 +414,45 @@ func (c *Compiler) CompileModelCtx(ctx context.Context, m *graph.Model) (*Execut
 	var next atomic.Int64
 	work := func() {
 		for {
-			if ctx.Err() != nil {
-				return // the searches observe the same ctx and stop too
+			if reqCtx.Err() != nil {
+				return // claim no new ops; in-flight searches follow searchCtx
 			}
 			i := int(next.Add(1)) - 1
 			if i >= len(uniq) {
 				return
 			}
-			if _, err := c.searcher.SearchOpCtx(ctx, uniq[i]); err != nil {
+			if _, err := c.searcher.SearchOpCtx(searchCtx, uniq[i]); err != nil {
 				errs[i] = fmt.Errorf("op %s: %w", uniq[i].Name, err)
 			}
 		}
 	}
+	// Helpers spend the request's prepaid admission credit first (slots
+	// the caller already holds), then draw opportunistically from the
+	// pool — so a heavily weighted compile parallelizes into its own
+	// reservation instead of idling it.
+	credit := sema.CreditFrom(searchCtx)
 	var wg sync.WaitGroup
-	for n := mathutil.Min(c.workers, len(uniq)); n > 1 && c.pool.TryAcquire(1); n-- {
+	for n := mathutil.Min(c.workers, len(uniq)); n > 1; n-- {
+		fromCredit := credit.Take()
+		if !fromCredit && !c.pool.TryAcquire(1) {
+			break
+		}
 		wg.Add(1)
-		go func() {
+		go func(fromCredit bool) {
 			defer wg.Done()
-			defer c.pool.Release(1)
+			if fromCredit {
+				defer credit.Put()
+			} else {
+				defer c.pool.Release(1)
+			}
 			c.pool.Enter()
 			defer c.pool.Exit()
 			work()
-		}()
+		}(fromCredit)
 	}
 	work()
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	if err := reqCtx.Err(); err != nil {
 		return nil, err
 	}
 	// report the first failure in model order, independent of pool
@@ -319,7 +466,7 @@ func (c *Compiler) CompileModelCtx(ctx context.Context, m *graph.Model) (*Execut
 	extraLive := m.ExtraLiveBytes()
 	plans := make([]interop.OpPlans, len(m.Ops))
 	for i := range m.Ops {
-		r, err := c.searcher.SearchOpCtx(ctx, m.Ops[i].Expr)
+		r, err := c.searcher.SearchOpCtx(searchCtx, m.Ops[i].Expr)
 		if err != nil {
 			return nil, err
 		}
@@ -330,6 +477,7 @@ func (c *Compiler) CompileModelCtx(ctx context.Context, m *graph.Model) (*Execut
 	}
 
 	var sched *interop.Schedule
+	var err error
 	if c.Opts.InterOp {
 		sched, err = interop.Reconcile(c.Spec, plans, int64(c.Spec.CoreMemBytes))
 	} else {
@@ -429,9 +577,7 @@ func (e *Executable) transitionBytes(i int) int64 {
 	return 0
 }
 
-// layoutsMatch reports whether two rTensor layouts partition the same
-// data identically (same spatial split, no temporal re-split, no
-// replication mismatch).
+// ceilDiv64 divides a by b, rounding up.
 func ceilDiv64(a, b int64) int64 {
 	if b <= 0 {
 		panic("t10: ceilDiv64 by non-positive divisor")
@@ -439,6 +585,9 @@ func ceilDiv64(a, b int64) int64 {
 	return (a + b - 1) / b
 }
 
+// layoutsMatch reports whether two rTensor layouts partition the same
+// data identically (same spatial split, no temporal re-split, no
+// replication mismatch).
 func layoutsMatch(a, b *core.RTensor) bool {
 	if len(a.Fs) != len(b.Fs) {
 		return false
