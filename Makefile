@@ -23,9 +23,12 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Exercise the parallel, pruned cold-search path under the race detector
-# (one iteration — correctness smoke, not a measurement).
+# (one iteration — correctness smoke, not a measurement), plus the
+# serving soak: 32 parallel mixed requests whose every 200 must carry a
+# well-formed telemetry block.
 bench-race:
 	$(GO) test -run='^$$' -bench='BenchmarkCompileOp|BenchmarkColdSearch' -benchtime=1x -race ./...
+	$(GO) test -run=TestServeSoakUnderSharedBudget -count=1 -race ./cmd/t10serve
 
 # Real measurement of the cold-search variants; updates BENCH_search.json
 # so the perf trajectory is tracked across PRs.

@@ -22,12 +22,24 @@
 // plan cache, so the client's retry hits instead of recomputing.
 // SIGINT/SIGTERM drain in-flight compiles before exiting.
 //
+// Every 200 response carries the request's structured telemetry
+// (stage wall times, cache routes, admission weight — see
+// t10.Telemetry), and /stats aggregates the same data server-wide:
+// p50/p95/p99 per-stage latency percentiles over a ring of recent
+// requests, cumulative per-route hit counters, and the detached-compile
+// gauges. Detached compiles are capped (-detach-limit): beyond the cap
+// a cancellation degrades to the plain kind instead of pinning the
+// budget. Persisted plan records carry provenance (builder version +
+// key, HMAC'd under -cache-salt when set), so a foreign or tampered
+// record loads as a miss and is overwritten, never trusted.
+//
 // Endpoints:
 //
 //	POST /compile    {"model":"BERT","batch":8,"simulate":true}
 //	                 {"op":{"name":"mm","m":1024,"k":1024,"n":4096,"dtype":"fp16"}}
 //	GET  /cachestats plan cache counters as JSON
-//	GET  /stats      serving counters: in-flight, queued, rejected, cancelled
+//	GET  /stats      serving counters: in-flight, queued, rejected, cancelled,
+//	                 per-stage latency percentiles, per-route hits, detach gauges
 //	GET  /healthz    liveness probe
 //
 // Usage:
@@ -47,7 +59,9 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"slices"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -67,26 +81,36 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue length: requests allowed to wait for a worker slot before the server sheds load with 429")
 	timeout := flag.Duration("compile-timeout", 2*time.Minute, "per-request compile deadline; expired requests answer 503 (0 = no deadline)")
 	detach := flag.Bool("detach-on-cancel", false, "finish (and cache) in-flight operator searches of cancelled requests in the background, so retries hit the plan cache")
+	detachLimit := flag.Int("detach-limit", 0, "max concurrently detached (cancelled but still compiling) requests; beyond it cancellation degrades to the plain kind (0 = the worker budget)")
+	cacheSalt := flag.String("cache-salt", "", "deployment secret HMAC'ing persisted plan records; records written under another salt (or tampered with) load as misses")
 	flag.Parse()
 
 	budget := *workers
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
 	}
+	dlim := *detachLimit
+	if dlim <= 0 {
+		dlim = budget
+	}
+	limiter := t10.NewDetachLimit(dlim)
 	pool := sema.NewShared(budget, *queue)
 	opts := t10.DefaultOptions()
 	opts.CacheDir = *cacheDir
+	opts.CacheSalt = []byte(*cacheSalt)
 	opts.Workers = budget
 	opts.SharedPool = pool
+	opts.DetachLimit = limiter
 	c, err := t10.New(device.IPUMK2(), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "t10serve:", err)
 		os.Exit(1)
 	}
-	log.Printf("t10serve: listening on %s (device %s, budget %d workers, queue %d, compile timeout %v, detach-on-cancel %t, cache dir %q)",
-		*addr, c.Spec.Name, budget, *queue, *timeout, *detach, *cacheDir)
+	log.Printf("t10serve: listening on %s (device %s, budget %d workers, queue %d, compile timeout %v, detach-on-cancel %t (limit %d), cache dir %q)",
+		*addr, c.Spec.Name, budget, *queue, *timeout, *detach, dlim, *cacheDir)
 	hsrv := newServer(c, pool, *timeout)
 	hsrv.detach = *detach
+	hsrv.detachLimit = limiter
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           hsrv.mux(),
@@ -132,10 +156,11 @@ const (
 // cache and the searcher's in-flight deduplication do the heavy
 // lifting.
 type server struct {
-	c       *t10.Compiler
-	pool    *sema.Sem     // the shared budget, for /stats and admission gauges
-	timeout time.Duration // per-request compile deadline; 0 = none
-	detach  bool          // cancelled requests warm the cache instead of wasting work
+	c           *t10.Compiler
+	pool        *sema.Sem        // the shared budget, for /stats and admission gauges
+	timeout     time.Duration    // per-request compile deadline; 0 = none
+	detach      bool             // cancelled requests warm the cache instead of wasting work
+	detachLimit *t10.DetachLimit // cap + gauges on concurrently detached requests (nil = uncapped)
 
 	inFlight     atomic.Int64 // requests currently compiling (or queued for a slot)
 	completed    atomic.Int64 // 200s served
@@ -147,6 +172,67 @@ type server struct {
 	probeRequests  atomic.Int64 // weight-0 requests: estimated fully cached, skipped admission
 	heavyRequests  atomic.Int64 // requests admitted with weight > 1
 	weightAdmitted atomic.Int64 // total admission slots requested across all requests
+
+	// cumulative cache-route counters across every 200 (one count per
+	// unique operator search a request performed)
+	routeMemory, routeDisk, routeFlight, routeCold atomic.Int64
+
+	// per-stage latency rings behind the /stats percentiles
+	latAdmission, latProbe, latSearch, latReconcile, latWall latRing
+}
+
+// latRingSize is how many recent requests the /stats percentiles
+// cover: enough that p99 is meaningful, small enough that a sort per
+// /stats read is nothing.
+const latRingSize = 512
+
+// latRing is a fixed-size ring of recent stage durations (µs). One
+// mutex-guarded write per request per stage; /stats copies and sorts.
+type latRing struct {
+	mu   sync.Mutex
+	buf  [latRingSize]int64
+	next int
+	n    int
+}
+
+func (r *latRing) add(d time.Duration) {
+	us := d.Microseconds()
+	r.mu.Lock()
+	r.buf[r.next] = us
+	r.next = (r.next + 1) % latRingSize
+	if r.n < latRingSize {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// percentileJSON is one stage's latency summary (µs, nearest-rank).
+type percentileJSON struct {
+	P50Us   int64 `json:"p50_us"`
+	P95Us   int64 `json:"p95_us"`
+	P99Us   int64 `json:"p99_us"`
+	Samples int   `json:"samples"`
+}
+
+func (r *latRing) percentiles() percentileJSON {
+	r.mu.Lock()
+	vals := make([]int64, r.n)
+	copy(vals, r.buf[:r.n])
+	r.mu.Unlock()
+	if len(vals) == 0 {
+		return percentileJSON{}
+	}
+	slices.Sort(vals)
+	at := func(p float64) int64 {
+		i := int(p * float64(len(vals)-1))
+		return vals[i]
+	}
+	return percentileJSON{
+		P50Us:   at(0.50),
+		P95Us:   at(0.95),
+		P99Us:   at(0.99),
+		Samples: len(vals),
+	}
 }
 
 func newServer(c *t10.Compiler, pool *sema.Sem, timeout time.Duration) *server {
@@ -238,13 +324,93 @@ type opPlanJSON struct {
 }
 
 type compileResponse struct {
-	Model      string       `json:"model,omitempty"`
-	Batch      int          `json:"batch,omitempty"`
-	Ops        int          `json:"ops"`
-	CompileMs  float64      `json:"compile_ms"`
-	IdleMemPct float64      `json:"idle_mem_pct"`
-	LatencyMs  float64      `json:"latency_ms,omitempty"`
-	Plans      []opPlanJSON `json:"plans"`
+	Model      string         `json:"model,omitempty"`
+	Batch      int            `json:"batch,omitempty"`
+	Ops        int            `json:"ops"`
+	CompileMs  float64        `json:"compile_ms"`
+	IdleMemPct float64        `json:"idle_mem_pct"`
+	LatencyMs  float64        `json:"latency_ms,omitempty"`
+	Plans      []opPlanJSON   `json:"plans"`
+	Telemetry  *telemetryJSON `json:"telemetry,omitempty"`
+}
+
+// telemetryJSON is the production-safe telemetry block every 200
+// carries: the t10.Telemetry stage walls in µs, the cache routes, and
+// the admission weight. Stage durations are disjoint phases of the
+// request wall, so their sum never exceeds wall_us — the soak test
+// asserts it on every response. For single-operator requests, route
+// names the one route that answered ("memory", "disk", "singleflight",
+// "cold"); model requests carry the per-route counts instead.
+type telemetryJSON struct {
+	AdmissionWaitUs int64  `json:"admission_wait_us"`
+	CacheProbeUs    int64  `json:"cache_probe_us"`
+	ColdSearchUs    int64  `json:"cold_search_us"`
+	ReconcileUs     int64  `json:"reconcile_us"`
+	WallUs          int64  `json:"wall_us"`
+	AdmissionWeight int    `json:"admission_weight"`
+	Route           string `json:"route,omitempty"` // single-op only
+	RouteMemory     int    `json:"route_memory"`
+	RouteDisk       int    `json:"route_disk"`
+	RouteFlightWait int    `json:"route_singleflight"`
+	RouteCold       int    `json:"route_cold"`
+
+	// search-space accounting of the request's cold searches
+	// (TelemetryFull, which the server always requests)
+	Filtered    int `json:"filtered,omitempty"`
+	Priced      int `json:"priced,omitempty"`
+	Pruned      int `json:"pruned,omitempty"`
+	Seeded      int `json:"seeded,omitempty"`
+	CutSubtrees int `json:"cut_subtrees,omitempty"`
+	CutLeaves   int `json:"cut_leaves,omitempty"`
+}
+
+// recordTelemetry folds one successful request's telemetry into the
+// /stats aggregates (latency rings, route counters) and renders the
+// response block.
+func (s *server) recordTelemetry(tel *t10.Telemetry) *telemetryJSON {
+	s.latAdmission.add(tel.AdmissionWait)
+	s.latProbe.add(tel.CacheProbe)
+	s.latSearch.add(tel.ColdSearch)
+	s.latReconcile.add(tel.Reconcile)
+	s.latWall.add(tel.Wall)
+	s.routeMemory.Add(int64(tel.RouteMemory))
+	s.routeDisk.Add(int64(tel.RouteDisk))
+	s.routeFlight.Add(int64(tel.RouteFlightWait))
+	s.routeCold.Add(int64(tel.RouteCold))
+	return &telemetryJSON{
+		AdmissionWaitUs: tel.AdmissionWait.Microseconds(),
+		CacheProbeUs:    tel.CacheProbe.Microseconds(),
+		ColdSearchUs:    tel.ColdSearch.Microseconds(),
+		ReconcileUs:     tel.Reconcile.Microseconds(),
+		WallUs:          tel.Wall.Microseconds(),
+		AdmissionWeight: tel.AdmissionWeight,
+		RouteMemory:     tel.RouteMemory,
+		RouteDisk:       tel.RouteDisk,
+		RouteFlightWait: tel.RouteFlightWait,
+		RouteCold:       tel.RouteCold,
+		Filtered:        tel.Filtered,
+		Priced:          tel.Priced,
+		Pruned:          tel.Pruned,
+		Seeded:          tel.Seeded,
+		CutSubtrees:     tel.CutSubtrees,
+		CutLeaves:       tel.CutLeaves,
+	}
+}
+
+// opRoute names the single route that answered a one-operator request.
+// A retry-as-owner flight can touch more than one route; the most
+// expensive one taken is the honest label.
+func opRoute(tel *t10.Telemetry) string {
+	switch {
+	case tel.RouteCold > 0:
+		return "cold"
+	case tel.RouteDisk > 0:
+		return "disk"
+	case tel.RouteFlightWait > 0:
+		return "singleflight"
+	default:
+		return "memory"
+	}
 }
 
 type paretoPlanJSON struct {
@@ -257,10 +423,11 @@ type paretoPlanJSON struct {
 }
 
 type searchResponse struct {
-	Op       string           `json:"op"`
-	Filtered int              `json:"filtered"`
-	Pareto   []paretoPlanJSON `json:"pareto"`
-	SearchMs float64          `json:"search_ms"`
+	Op        string           `json:"op"`
+	Filtered  int              `json:"filtered"`
+	Pareto    []paretoPlanJSON `json:"pareto"`
+	SearchMs  float64          `json:"search_ms"`
+	Telemetry *telemetryJSON   `json:"telemetry,omitempty"`
 }
 
 func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -309,7 +476,10 @@ func (s *server) reqOptions(est t10.CostEstimate) []t10.CompileOption {
 		s.heavyRequests.Add(1)
 	}
 	s.weightAdmitted.Add(int64(weight))
-	opts := []t10.CompileOption{t10.WithAdmissionWeight(weight)}
+	opts := []t10.CompileOption{
+		t10.WithAdmissionWeight(weight),
+		t10.WithTelemetry(t10.TelemetryFull),
+	}
 	if s.detach {
 		opts = append(opts, t10.WithDetachOnCancel())
 	}
@@ -332,11 +502,12 @@ func (s *server) compileModel(ctx context.Context, w http.ResponseWriter, req *c
 		return
 	}
 	start := time.Now()
-	exe, err := s.c.Compile(ctx, m, s.reqOptions(est)...)
+	cr, err := s.c.CompileWithResult(ctx, m, s.reqOptions(est)...)
 	if err != nil {
 		s.compileError(w, "compile "+req.Model, err)
 		return
 	}
+	exe := cr.Executable
 	resp := compileResponse{
 		Model:      m.Name,
 		Batch:      m.BatchSize,
@@ -365,6 +536,7 @@ func (s *server) compileModel(ctx context.Context, w http.ResponseWriter, req *c
 	if req.Simulate {
 		resp.LatencyMs = exe.Simulate().LatencyMs()
 	}
+	resp.Telemetry = s.recordTelemetry(&cr.Telemetry)
 	s.completed.Add(1)
 	s.writeJSON(w, resp)
 }
@@ -381,16 +553,19 @@ func (s *server) compileOp(ctx context.Context, w http.ResponseWriter, spec *opS
 		return
 	}
 	start := time.Now()
-	res, err := s.c.Search(ctx, e, s.reqOptions(est)...)
+	sr, err := s.c.SearchWithResult(ctx, e, s.reqOptions(est)...)
 	if err != nil {
 		s.compileError(w, "search "+e.Name, err)
 		return
 	}
+	res := sr.Result
 	resp := searchResponse{
-		Op:       res.Op,
-		Filtered: res.Spaces.Filtered,
-		SearchMs: float64(time.Since(start).Microseconds()) / 1e3,
+		Op:        res.Op,
+		Filtered:  res.Spaces.Filtered,
+		SearchMs:  float64(time.Since(start).Microseconds()) / 1e3,
+		Telemetry: s.recordTelemetry(&sr.Telemetry),
 	}
+	resp.Telemetry.Route = opRoute(&sr.Telemetry)
 	for i := range res.Pareto {
 		c := &res.Pareto[i]
 		resp.Pareto = append(resp.Pareto, paretoPlanJSON{
@@ -450,6 +625,28 @@ type statsResponse struct {
 	ProbeRequests  int64 `json:"probe_requests"`
 	HeavyRequests  int64 `json:"heavy_requests"`
 	WeightAdmitted int64 `json:"weight_admitted"` // total slots requested
+
+	// detached compiles: cancelled requests still running in the
+	// background (gauge) and cancellations the cap degraded to the plain
+	// kind (cumulative)
+	DetachedActive   int64 `json:"detached_active"`
+	DetachedRejected int64 `json:"detached_rejected"`
+
+	// cumulative cache-route counters: one count per unique operator
+	// search across every 200 served
+	RouteMemory     int64 `json:"route_memory"`
+	RouteDisk       int64 `json:"route_disk"`
+	RouteFlightWait int64 `json:"route_singleflight"`
+	RouteCold       int64 `json:"route_cold"`
+
+	// per-stage latency percentiles over the last latRingSize requests
+	Latency struct {
+		AdmissionWait percentileJSON `json:"admission_wait"`
+		CacheProbe    percentileJSON `json:"cache_probe"`
+		ColdSearch    percentileJSON `json:"cold_search"`
+		Reconcile     percentileJSON `json:"reconcile"`
+		Wall          percentileJSON `json:"wall"`
+	} `json:"latency"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -457,19 +654,31 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	s.writeJSON(w, statsResponse{
-		Budget:         s.pool.Cap(),
-		BusyWorkers:    s.pool.InUse(),
-		InFlight:       s.inFlight.Load(),
-		Queued:         s.pool.Waiting(),
-		Completed:      s.completed.Load(),
-		Rejected:       s.rejected.Load(),
-		Cancelled:      s.cancelled.Load(),
-		EncodeErrors:   s.encodeErrors.Load(),
-		ProbeRequests:  s.probeRequests.Load(),
-		HeavyRequests:  s.heavyRequests.Load(),
-		WeightAdmitted: s.weightAdmitted.Load(),
-	})
+	resp := statsResponse{
+		Budget:           s.pool.Cap(),
+		BusyWorkers:      s.pool.InUse(),
+		InFlight:         s.inFlight.Load(),
+		Queued:           s.pool.Waiting(),
+		Completed:        s.completed.Load(),
+		Rejected:         s.rejected.Load(),
+		Cancelled:        s.cancelled.Load(),
+		EncodeErrors:     s.encodeErrors.Load(),
+		ProbeRequests:    s.probeRequests.Load(),
+		HeavyRequests:    s.heavyRequests.Load(),
+		WeightAdmitted:   s.weightAdmitted.Load(),
+		DetachedActive:   s.detachLimit.Active(),
+		DetachedRejected: s.detachLimit.Rejected(),
+		RouteMemory:      s.routeMemory.Load(),
+		RouteDisk:        s.routeDisk.Load(),
+		RouteFlightWait:  s.routeFlight.Load(),
+		RouteCold:        s.routeCold.Load(),
+	}
+	resp.Latency.AdmissionWait = s.latAdmission.percentiles()
+	resp.Latency.CacheProbe = s.latProbe.percentiles()
+	resp.Latency.ColdSearch = s.latSearch.percentiles()
+	resp.Latency.Reconcile = s.latReconcile.percentiles()
+	resp.Latency.Wall = s.latWall.percentiles()
+	s.writeJSON(w, resp)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

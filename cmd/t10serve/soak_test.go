@@ -42,7 +42,8 @@ func soakServer(t *testing.T, budget, queueLen int, timeout time.Duration) (*ser
 // admission queue, under the race detector. It asserts the shared
 // semaphore's instrumented live-worker peak never exceeds the budget,
 // that every received response is either valid JSON with 200 or a
-// clean 429/503, and that the server drains back to idle.
+// clean 429/503, that every 200 carries a well-formed telemetry block,
+// and that the server drains back to idle.
 func TestServeSoakUnderSharedBudget(t *testing.T) {
 	const (
 		budget   = 3
@@ -72,6 +73,7 @@ func TestServeSoakUnderSharedBudget(t *testing.T) {
 		status    int
 		transport bool // client-side error (its own deadline fired)
 		jsonOK    bool
+		tel       *telemetryJSON // telemetry block carried by a 200
 	}
 	outcomes := make([]outcome, parallel)
 	var wg sync.WaitGroup
@@ -106,10 +108,13 @@ func TestServeSoakUnderSharedBudget(t *testing.T) {
 				outcomes[i] = outcome{status: resp.StatusCode}
 				return
 			}
-			var decoded any
+			var decoded struct {
+				Telemetry *telemetryJSON `json:"telemetry"`
+			}
 			outcomes[i] = outcome{
 				status: resp.StatusCode,
 				jsonOK: json.Unmarshal(body, &decoded) == nil,
+				tel:    decoded.Telemetry,
 			}
 			switch resp.StatusCode {
 			case http.StatusOK, http.StatusServiceUnavailable:
@@ -144,6 +149,12 @@ func TestServeSoakUnderSharedBudget(t *testing.T) {
 		if !o.jsonOK {
 			bad++
 			t.Errorf("request %d: status %d body is not valid JSON", i, o.status)
+		}
+		// every 200 under the burst carries a well-formed telemetry block:
+		// stages within the wall, routes covering the request, route names
+		// from the four-value enum
+		if o.status == http.StatusOK {
+			checkTelemetry(t, fmt.Sprintf("soak request %d", i), o.tel)
 		}
 	}
 	if got == 0 {

@@ -19,9 +19,11 @@
 package plancache
 
 import (
+	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"sync"
@@ -61,6 +63,21 @@ type Options struct {
 	// Dir, when non-empty, enables the on-disk layer. The directory is
 	// created on first use.
 	Dir string
+
+	// Builder is the provenance builder-version string stamped into
+	// every persisted record's envelope; a record whose builder differs
+	// from the reader's is rejected as a miss-and-overwrite (a stale or
+	// foreign builder's plans must never answer this one's searches).
+	// Empty means DefaultBuilder.
+	Builder string
+
+	// Salt, when non-empty, is the deployment secret that HMACs every
+	// persisted record. Readers with the same salt reject tampered or
+	// unsigned records as misses; readers with a different salt reject
+	// everything another deployment wrote. Saltless caches skip MAC
+	// verification entirely (the envelope's builder + key checks still
+	// apply), so a single-machine cache pays nothing for the option.
+	Salt []byte
 }
 
 // Defaults for Options zero values.
@@ -68,6 +85,33 @@ const (
 	DefaultMaxEntries = 4096
 	DefaultShards     = 16
 )
+
+// DefaultBuilder identifies this build of the plan pipeline in record
+// envelopes. Bump it together with the payload format version whenever
+// persisted plans stop being answerable by the current code — an old
+// builder's records then load as misses everywhere at once, instead of
+// each payload decoder rediscovering staleness on its own.
+const DefaultBuilder = "t10-builder/5"
+
+// envelopeVersion versions the provenance envelope itself (the framing
+// around the payload, not the payload format).
+const envelopeVersion = 1
+
+// blobEnvelope is the provenance frame around every persisted record:
+// who built it (Builder), for which fingerprint chain (Key, hex — the
+// content address covers device, constraints, config and operator, so
+// echoing it binds the payload to everything that determined it), and
+// an optional HMAC over all of that under the deployment salt. A
+// record failing any check loads as a miss and is overwritten by the
+// fresh search — provenance is a cache-consistency mechanism, not an
+// error path.
+type blobEnvelope struct {
+	V       int             `json:"v"`
+	Builder string          `json:"builder"`
+	Key     string          `json:"key"`
+	MAC     string          `json:"mac,omitempty"`
+	Payload json.RawMessage `json:"payload"`
+}
 
 // Stats is a point-in-time snapshot of cache activity. Hit/miss counts
 // cover the in-memory layer; the Disk* counts cover the blob store.
@@ -81,17 +125,26 @@ type Stats struct {
 	DiskMisses int64 `json:"disk_misses"`
 	DiskWrites int64 `json:"disk_writes"`
 	DiskErrors int64 `json:"disk_errors"`
+
+	// DiskRejects counts records that were present on disk but failed a
+	// provenance check (foreign builder, wrong key, bad or missing MAC,
+	// unparseable envelope). Every reject is also a DiskMiss — the
+	// counter exists so an operator can tell "cold" from "poisoned".
+	DiskRejects int64 `json:"disk_rejects"`
 }
 
 // Cache is a sharded LRU with an optional disk layer. All methods are
 // safe for concurrent use.
 type Cache struct {
-	shards []shard
-	dir    string
+	shards  []shard
+	dir     string
+	builder string
+	salt    []byte
 
 	hits, misses, evictions atomic.Int64
 	diskHits, diskMisses    atomic.Int64
 	diskWrites, diskErrors  atomic.Int64
+	diskRejects             atomic.Int64
 	dirOnce                 sync.Once
 	dirErr                  error
 }
@@ -120,7 +173,14 @@ func New(opts Options) *Cache {
 		max = DefaultMaxEntries
 	}
 	perShard := (max + n - 1) / n
-	c := &Cache{shards: make([]shard, n), dir: opts.Dir}
+	builder := opts.Builder
+	if builder == "" {
+		builder = DefaultBuilder
+	}
+	c := &Cache{
+		shards: make([]shard, n), dir: opts.Dir,
+		builder: builder, salt: append([]byte(nil), opts.Salt...),
+	}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.m = make(map[Key]*entry)
@@ -214,42 +274,119 @@ func (c *Cache) Len() int {
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Entries:    c.Len(),
-		Hits:       c.hits.Load(),
-		Misses:     c.misses.Load(),
-		Evictions:  c.evictions.Load(),
-		DiskHits:   c.diskHits.Load(),
-		DiskMisses: c.diskMisses.Load(),
-		DiskWrites: c.diskWrites.Load(),
-		DiskErrors: c.diskErrors.Load(),
+		Entries:     c.Len(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		DiskHits:    c.diskHits.Load(),
+		DiskMisses:  c.diskMisses.Load(),
+		DiskWrites:  c.diskWrites.Load(),
+		DiskErrors:  c.diskErrors.Load(),
+		DiskRejects: c.diskRejects.Load(),
 	}
 }
 
 // DiskEnabled reports whether the cache has an on-disk layer.
 func (c *Cache) DiskEnabled() bool { return c.dir != "" }
 
-// GetBlob reads the on-disk blob for the key. Returns false when the
-// disk layer is disabled, the entry is absent, or the read fails.
+// mac computes the record MAC: HMAC-SHA256 over the length-prefixed
+// (builder, key, payload) triple under the deployment salt. The
+// length prefixes make the concatenation unambiguous, exactly as in
+// Fingerprint.
+func (c *Cache) mac(key string, payload []byte) string {
+	h := hmac.New(sha256.New, c.salt)
+	var n [8]byte
+	for _, p := range [][]byte{[]byte(c.builder), []byte(key), payload} {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// open verifies one raw on-disk record's provenance envelope and
+// returns its payload; ok is false for any record this cache must not
+// trust (unparseable envelope, wrong envelope version, foreign
+// builder, key mismatch, bad or missing MAC under a salt).
+func (c *Cache) open(k Key, raw []byte) ([]byte, bool) {
+	var env blobEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, false
+	}
+	if env.V != envelopeVersion || env.Builder != c.builder || env.Key != k.String() {
+		return nil, false
+	}
+	if len(c.salt) > 0 {
+		want := c.mac(env.Key, env.Payload)
+		if env.MAC == "" || !hmac.Equal([]byte(env.MAC), []byte(want)) {
+			return nil, false
+		}
+	}
+	return env.Payload, true
+}
+
+// GetBlob reads and provenance-checks the on-disk record for the key,
+// returning its payload. Returns false when the disk layer is
+// disabled, the entry is absent, the read fails, or the record fails a
+// provenance check (foreign builder, tampered payload, wrong salt) —
+// the last case additionally counts as a DiskReject, and the caller's
+// fresh search overwrites the record.
 func (c *Cache) GetBlob(k Key) ([]byte, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
-	b, err := os.ReadFile(c.blobPath(k))
+	raw, err := os.ReadFile(c.blobPath(k))
 	if err != nil {
 		c.diskMisses.Add(1)
 		return nil, false
 	}
+	payload, ok := c.open(k, raw)
+	if !ok {
+		c.diskRejects.Add(1)
+		c.diskMisses.Add(1)
+		return nil, false
+	}
 	c.diskHits.Add(1)
-	return b, true
+	return payload, true
 }
 
-// PutBlob writes the blob for the key atomically (temp file + rename),
-// so concurrent writers and readers never observe a partial entry.
-// A disabled disk layer makes it a no-op.
+// PeekBlob reports whether a disk record exists for the key, by stat
+// alone — no read, no provenance check, no counters. It is the
+// admission-control probe: cheap enough to run per request, and
+// advisory anyway (like Peek, a concurrent writer can change the
+// answer), so verification would buy nothing the real GetBlob doesn't
+// redo.
+func (c *Cache) PeekBlob(k Key) bool {
+	if c.dir == "" {
+		return false
+	}
+	_, err := os.Stat(c.blobPath(k))
+	return err == nil
+}
+
+// PutBlob seals the payload in a provenance envelope (builder version,
+// fingerprint-chain key, HMAC when a salt is set) and writes it
+// atomically (temp file + rename), so concurrent writers and readers
+// never observe a partial entry. The payload must be valid JSON — the
+// envelope embeds it verbatim; anything else is an error counted in
+// DiskErrors. A disabled disk layer makes it a no-op.
 func (c *Cache) PutBlob(k Key, b []byte) error {
 	if c.dir == "" {
 		return nil
 	}
+	env := blobEnvelope{
+		V: envelopeVersion, Builder: c.builder, Key: k.String(),
+		Payload: json.RawMessage(b),
+	}
+	if len(c.salt) > 0 {
+		env.MAC = c.mac(env.Key, b)
+	}
+	sealed, err := json.Marshal(env)
+	if err != nil {
+		c.diskErrors.Add(1)
+		return err
+	}
+	b = sealed
 	c.dirOnce.Do(func() { c.dirErr = os.MkdirAll(c.dir, 0o755) })
 	if c.dirErr != nil {
 		c.diskErrors.Add(1)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -137,6 +138,162 @@ func TestPutBlobUnwritableDir(t *testing.T) {
 	}
 	if st := c.Stats(); st.DiskErrors == 0 {
 		t.Error("disk error not counted")
+	}
+}
+
+// rewriteBlob mutates the raw on-disk record for a key via fn — the
+// attacker's (or bit rot's) view of the blob store.
+func rewriteBlob(t *testing.T, dir string, k Key, fn func([]byte) []byte) {
+	t.Helper()
+	path := filepath.Join(dir, k.String()+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fn(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTamperedRecordIsRejectedMiss(t *testing.T) {
+	dir := t.TempDir()
+	salt := []byte("deployment-secret")
+	k := Fingerprint("op")
+	blob := []byte(`{"pareto":[{"fop":[16,1,32]}]}`)
+
+	c := New(Options{Dir: dir, Salt: salt})
+	if err := c.PutBlob(k, blob); err != nil {
+		t.Fatal(err)
+	}
+	// flip payload bytes in place; envelope still parses, MAC no longer
+	// matches
+	rewriteBlob(t, dir, k, func(raw []byte) []byte {
+		return []byte(strings.Replace(string(raw), `[16,1,32]`, `[32,1,16]`, 1))
+	})
+
+	r := New(Options{Dir: dir, Salt: salt})
+	if _, ok := r.GetBlob(k); ok {
+		t.Fatal("tampered record must load as a miss")
+	}
+	st := r.Stats()
+	if st.DiskRejects != 1 || st.DiskMisses != 1 {
+		t.Fatalf("stats = %+v, want the reject counted as a miss", st)
+	}
+
+	// the fresh search's overwrite restores a loadable record
+	if err := r.PutBlob(k, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.GetBlob(k)
+	if !ok || string(got) != string(blob) {
+		t.Fatalf("overwrite did not restore the record: %q %v", got, ok)
+	}
+}
+
+func TestWrongSaltIsRejectedMiss(t *testing.T) {
+	dir := t.TempDir()
+	k := Fingerprint("op")
+	blob := []byte(`{"pareto":[]}`)
+
+	w := New(Options{Dir: dir, Salt: []byte("deployment-a")})
+	if err := w.PutBlob(k, blob); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Options{Dir: dir, Salt: []byte("deployment-b")})
+	if _, ok := r.GetBlob(k); ok {
+		t.Fatal("another deployment's record must load as a miss")
+	}
+	if st := r.Stats(); st.DiskRejects != 1 {
+		t.Fatalf("stats = %+v, want 1 disk reject", st)
+	}
+
+	// an unsigned record is just as untrusted under a salt
+	u := New(Options{Dir: dir})
+	if err := u.PutBlob(k, blob); err != nil {
+		t.Fatal(err)
+	}
+	r2 := New(Options{Dir: dir, Salt: []byte("deployment-a")})
+	if _, ok := r2.GetBlob(k); ok {
+		t.Fatal("unsigned record must not satisfy a salted reader")
+	}
+
+	// while a saltless reader skips MAC checks entirely
+	if got, ok := u.GetBlob(k); !ok || string(got) != string(blob) {
+		t.Fatalf("saltless roundtrip failed: %q %v", got, ok)
+	}
+}
+
+func TestStaleBuilderIsRejectedMiss(t *testing.T) {
+	dir := t.TempDir()
+	k := Fingerprint("op")
+	blob := []byte(`{"pareto":[]}`)
+
+	old := New(Options{Dir: dir, Builder: "t10-builder/4"})
+	if err := old.PutBlob(k, blob); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Options{Dir: dir}) // DefaultBuilder
+	if _, ok := r.GetBlob(k); ok {
+		t.Fatal("a stale builder's record must load as a miss")
+	}
+	if st := r.Stats(); st.DiskRejects != 1 || st.DiskMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 reject / 1 miss", st)
+	}
+}
+
+func TestKeyMismatchIsRejectedMiss(t *testing.T) {
+	dir := t.TempDir()
+	ka, kb := Fingerprint("op-a"), Fingerprint("op-b")
+	c := New(Options{Dir: dir})
+	if err := c.PutBlob(ka, []byte(`{"pareto":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	// copy a's record to b's path: content address and envelope key no
+	// longer agree
+	raw, err := os.ReadFile(filepath.Join(dir, ka.String()+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, kb.String()+".json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetBlob(kb); ok {
+		t.Fatal("a record filed under the wrong key must load as a miss")
+	}
+	if st := c.Stats(); st.DiskRejects != 1 {
+		t.Fatalf("stats = %+v, want 1 disk reject", st)
+	}
+}
+
+func TestPeekBlob(t *testing.T) {
+	dir := t.TempDir()
+	k := Fingerprint("op")
+	c := New(Options{Dir: dir})
+	if c.PeekBlob(k) {
+		t.Fatal("PeekBlob hit before any write")
+	}
+	if err := c.PutBlob(k, []byte(`{"pareto":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Stats()
+	if !c.PeekBlob(k) {
+		t.Fatal("PeekBlob missed an existing record")
+	}
+	if after := c.Stats(); after != before {
+		t.Fatalf("PeekBlob moved counters: %+v vs %+v", after, before)
+	}
+	if New(Options{}).PeekBlob(k) {
+		t.Fatal("PeekBlob hit with the disk layer disabled")
+	}
+}
+
+func TestPutBlobRejectsNonJSONPayload(t *testing.T) {
+	c := New(Options{Dir: t.TempDir()})
+	if err := c.PutBlob(Fingerprint("op"), []byte("not json")); err == nil {
+		t.Fatal("want error for a payload the envelope cannot embed")
+	}
+	if st := c.Stats(); st.DiskErrors != 1 {
+		t.Fatalf("stats = %+v, want 1 disk error", st)
 	}
 }
 

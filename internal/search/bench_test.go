@@ -22,12 +22,15 @@ func benchColdOp() *expr.Expr {
 // BenchmarkColdSearch measures one full cold enumeration per iteration
 // (searchOp bypasses every cache layer) in four configurations:
 //
-//	seq     — Workers=1, pruning off: the pre-optimization reference path
-//	par     — Workers=GOMAXPROCS, pruning off: sharding alone
-//	pruned  — leaf-level bound pruning only (the PR2 engine shape)
-//	subtree — subtree cuts + best-first shard order: the default engine
+//	seq       — Workers=1, pruning off: the pre-optimization reference path
+//	par       — Workers=GOMAXPROCS, pruning off: sharding alone
+//	pruned    — leaf-level bound pruning only (the PR2 engine shape)
+//	subtree   — subtree cuts + best-first shard order: the default engine
+//	telemetry — the default engine under an attached Collector (no debug
+//	            trace), i.e. the production-safe telemetry level: the
+//	            acceptance gate holds it within 5% of subtree
 //
-// All four select bit-identical Pareto plans (TestSearchEquivalence).
+// All variants select bit-identical Pareto plans (TestSearchEquivalence).
 // With BENCH_SEARCH_JSON set, each variant records its numbers into that
 // file so the perf trajectory is tracked across PRs (make bench-search).
 func BenchmarkColdSearch(b *testing.B) {
@@ -36,22 +39,28 @@ func BenchmarkColdSearch(b *testing.B) {
 		workers   int
 		noPrune   bool
 		noSubtree bool
+		telemetry bool
 	}{
-		{"seq", 1, true, false},
-		{"par", 0, true, false},
-		{"pruned", 0, false, true},
-		{"subtree", 0, false, false},
+		{"seq", 1, true, false, false},
+		{"par", 0, true, false, false},
+		{"pruned", 0, false, true, false},
+		{"subtree", 0, false, false, false},
+		{"telemetry", 0, false, false, true},
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
 			s := New(device.IPUMK2(), testCM(), DefaultConstraints(), core.DefaultConfig())
 			s.Workers, s.NoPrune, s.NoSubtree = v.workers, v.noPrune, v.noSubtree
 			e := benchColdOp()
+			ctx := context.Background()
+			if v.telemetry {
+				ctx = WithCollector(ctx, NewCollector(false))
+			}
 			b.ResetTimer()
 			var r *Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				r, err = s.searchOp(context.Background(), e)
+				r, err = s.searchOp(ctx, e)
 				if err != nil {
 					b.Fatal(err)
 				}

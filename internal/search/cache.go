@@ -30,7 +30,13 @@ import (
 // seeded before the search (insert-before-search), both of which change
 // the Priced/Pruned/Cut accounting a record carries; custom cost
 // functions additionally carry their monotone declaration in the key.
-const resultFormat = 4
+//
+// v5: disk records gained a provenance envelope (builder version,
+// fingerprint-chain key, optional deployment-salt HMAC — see
+// plancache.PutBlob); a v4 raw record fails the envelope parse and
+// loads as a miss. Bump plancache.DefaultBuilder together with this
+// constant.
+const resultFormat = 5
 
 // fingerprint derives the content-addressed cache key for one operator
 // search. It covers everything the search outcome depends on: the

@@ -148,7 +148,9 @@ func TestCorruptDiskEntryFallsBackToSearch(t *testing.T) {
 	s := newSearcher()
 	s.SetCache(plancache.New(plancache.Options{Dir: dir}))
 	key := s.fingerprint(e)
-	if err := s.Cache().PutBlob(key, []byte("{not json")); err != nil {
+	// corrupt bytes written straight to the blob path — disk rot, a
+	// partial copy, anything that never went through PutBlob's sealing
+	if err := os.WriteFile(filepath.Join(dir, key.String()+".json"), []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	r, err := s.SearchOp(e)
@@ -158,16 +160,16 @@ func TestCorruptDiskEntryFallsBackToSearch(t *testing.T) {
 	if len(r.Pareto) == 0 {
 		t.Fatal("no plans after corrupt-entry fallback")
 	}
-	// the fresh search overwrote the corrupt record
+	// the fresh search overwrote the corrupt record with a loadable one
 	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
 	if len(files) != 1 {
 		t.Fatalf("want 1 cache file, got %v", files)
 	}
-	b, err := os.ReadFile(files[0])
-	if err != nil {
-		t.Fatal(err)
+	payload, ok := plancache.New(plancache.Options{Dir: dir}).GetBlob(key)
+	if !ok {
+		t.Fatal("overwritten record does not pass the provenance check")
 	}
-	if _, err := decodeResult(e, s.Cfg, b); err != nil {
+	if _, err := decodeResult(e, s.Cfg, payload); err != nil {
 		t.Errorf("overwritten record still corrupt: %v", err)
 	}
 }
@@ -206,20 +208,20 @@ func TestStaleVersionRecordIsMissNotError(t *testing.T) {
 		if len(files) != 1 {
 			t.Fatalf("format %d: want 1 cache file, got %v", format, files)
 		}
-		blob, err := os.ReadFile(files[0])
-		if err != nil {
-			t.Fatal(err)
+		payload, ok := s.Cache().GetBlob(key)
+		if !ok {
+			t.Fatalf("format %d: overwritten record does not pass the provenance check", format)
 		}
 		var rec struct {
 			Format int `json:"format"`
 		}
-		if err := json.Unmarshal(blob, &rec); err != nil {
+		if err := json.Unmarshal(payload, &rec); err != nil {
 			t.Fatal(err)
 		}
 		if rec.Format != resultFormat {
 			t.Fatalf("format %d: record not overwritten, still v%d (want v%d)", format, rec.Format, resultFormat)
 		}
-		if _, err := decodeResult(e, s.Cfg, blob); err != nil {
+		if _, err := decodeResult(e, s.Cfg, payload); err != nil {
 			t.Fatalf("format %d: overwritten record does not decode: %v", format, err)
 		}
 	}

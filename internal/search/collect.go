@@ -1,0 +1,204 @@
+package search
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Route is the cache route one operator search took — the four ways
+// SearchOpCtx can answer, in probe order. It is the per-request
+// diagnosis the serving layer surfaces: a request that looks slow from
+// the outside decomposes into "N memory hits, one cold search" from its
+// route counts.
+type Route uint8
+
+const (
+	// RouteMemory: answered from the in-memory plan cache.
+	RouteMemory Route = iota
+	// RouteDisk: answered from the on-disk record store (read, verified,
+	// decoded, rebuilt).
+	RouteDisk
+	// RouteFlightWait: deduplicated onto a concurrent in-flight search
+	// for the same key and answered by its result.
+	RouteFlightWait
+	// RouteCold: a fresh Pareto enumeration ran.
+	RouteCold
+
+	// RouteCount sizes per-route arrays.
+	RouteCount
+)
+
+// routeNames are the wire names of the four routes; the serving layer
+// and its soak tests treat them as the closed enum.
+var routeNames = [RouteCount]string{"memory", "disk", "singleflight", "cold"}
+
+// String returns the route's wire name ("memory", "disk",
+// "singleflight", "cold").
+func (r Route) String() string {
+	if int(r) < len(routeNames) {
+		return routeNames[r]
+	}
+	return "invalid"
+}
+
+// DebugEvent is one opt-in search-trace event: what the search decided
+// and when, relative to the collector's start. Events are development
+// observability — they are never produced unless the collector was
+// built with debug on, so the production path pays nothing for them.
+type DebugEvent struct {
+	AtNs   int64  `json:"at_ns"` // offset from the collector's start
+	Event  string `json:"event"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Collector aggregates one request's search telemetry: cache routes,
+// probe and cold-enumeration durations, and the per-shard cut/priced/
+// seeded counters lifted from Spaces at each cold search's shard merge.
+// It travels by context (WithCollector / CollectorFrom) because the
+// searcher is shared across requests, and every method is safe for
+// concurrent use from the op-search worker pool — and nil-safe, so the
+// collector-less path stays exactly the pre-telemetry code.
+//
+// Nothing here touches the hot leaf path: workers keep counting into
+// their private fopShard structs, the deterministic merge aggregates
+// them into Spaces exactly as before, and the collector receives one
+// AddSpaces per cold search after that merge. The only per-op cost is a
+// few timestamps and atomic adds, which is what lets the production
+// telemetry level ride every request.
+type Collector struct {
+	start time.Time
+	debug bool
+
+	routes   [RouteCount]atomic.Int64
+	probeNs  atomic.Int64 // cache probes: memory Get, disk read+decode, flight waits
+	searchNs atomic.Int64 // cold enumerations (the searches' own Elapsed)
+
+	// Spaces aggregates over this request's cold searches only — a
+	// cached result's counters describe the original search, not work
+	// this request performed.
+	filtered, priced, pruned, seeded atomic.Int64
+	cutSubtrees, cutLeaves           atomic.Int64
+
+	mu     sync.Mutex
+	events []DebugEvent
+}
+
+// NewCollector returns a collector started now; debug additionally
+// records the search trace as DebugEvents.
+func NewCollector(debug bool) *Collector {
+	return &Collector{start: time.Now(), debug: debug}
+}
+
+// AddRoute counts one operator search answered by the given route.
+func (c *Collector) AddRoute(r Route) {
+	if c != nil {
+		c.routes[r].Add(1)
+	}
+}
+
+// AddProbe accumulates time spent probing cache layers (in-memory Get,
+// disk read + verify + decode, waiting on a deduplicated flight).
+func (c *Collector) AddProbe(d time.Duration) {
+	if c != nil && d > 0 {
+		c.probeNs.Add(d.Nanoseconds())
+	}
+}
+
+// AddSearch accumulates cold-enumeration time.
+func (c *Collector) AddSearch(d time.Duration) {
+	if c != nil && d > 0 {
+		c.searchNs.Add(d.Nanoseconds())
+	}
+}
+
+// AddSpaces folds one cold search's merged shard counters into the
+// request aggregate.
+func (c *Collector) AddSpaces(sp *Spaces) {
+	if c == nil {
+		return
+	}
+	c.filtered.Add(int64(sp.Filtered))
+	c.priced.Add(int64(sp.Priced))
+	c.pruned.Add(int64(sp.Pruned))
+	c.seeded.Add(int64(sp.Seeded))
+	c.cutSubtrees.Add(int64(sp.CutSubtrees))
+	c.cutLeaves.Add(int64(sp.CutLeaves))
+}
+
+// DebugEnabled reports whether the collector records DebugEvents; the
+// search gates every event construction on it so the trace costs
+// nothing when off.
+func (c *Collector) DebugEnabled() bool { return c != nil && c.debug }
+
+// Event appends one debug event; a no-op unless DebugEnabled.
+func (c *Collector) Event(event, detail string) {
+	if !c.DebugEnabled() {
+		return
+	}
+	at := time.Since(c.start).Nanoseconds()
+	c.mu.Lock()
+	c.events = append(c.events, DebugEvent{AtNs: at, Event: event, Detail: detail})
+	c.mu.Unlock()
+}
+
+// Events returns the recorded debug events (nil when debug was off).
+func (c *Collector) Events() []DebugEvent {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]DebugEvent(nil), c.events...)
+}
+
+// Totals is a point-in-time snapshot of a collector.
+type Totals struct {
+	Routes   [RouteCount]int64
+	ProbeNs  int64
+	SearchNs int64
+
+	Filtered, Priced, Pruned, Seeded int64
+	CutSubtrees, CutLeaves           int64
+}
+
+// Snapshot reads the aggregates; the zero Totals for a nil collector.
+func (c *Collector) Snapshot() Totals {
+	var t Totals
+	if c == nil {
+		return t
+	}
+	for r := range t.Routes {
+		t.Routes[r] = c.routes[r].Load()
+	}
+	t.ProbeNs = c.probeNs.Load()
+	t.SearchNs = c.searchNs.Load()
+	t.Filtered = c.filtered.Load()
+	t.Priced = c.priced.Load()
+	t.Pruned = c.pruned.Load()
+	t.Seeded = c.seeded.Load()
+	t.CutSubtrees = c.cutSubtrees.Load()
+	t.CutLeaves = c.cutLeaves.Load()
+	return t
+}
+
+// collectorKey carries a *Collector through a context.
+type collectorKey struct{}
+
+// WithCollector attaches a per-request telemetry collector to the
+// context; every SearchOpCtx under it reports its route, timings and —
+// for cold searches — merged shard counters into it.
+func WithCollector(ctx context.Context, c *Collector) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, collectorKey{}, c)
+}
+
+// CollectorFrom extracts the context's collector, or nil (collection
+// off).
+func CollectorFrom(ctx context.Context) *Collector {
+	c, _ := ctx.Value(collectorKey{}).(*Collector)
+	return c
+}

@@ -107,12 +107,18 @@ func TestSearchEquivalence(t *testing.T) {
 		workers   int
 		noPrune   bool
 		noSubtree bool
+		telemetry bool // run under an attached Collector with debug tracing
 	}
 	variants := []variant{
-		{1, false, false}, // the default engine, sequential
-		{4, false, false}, // the default engine, parallel
-		{2, false, true},  // leaf-level pruning only (the PR2 shape)
-		{8, true, false},  // no pruning: exact space accounting
+		{1, false, false, false}, // the default engine, sequential
+		{4, false, false, false}, // the default engine, parallel
+		{2, false, true, false},  // leaf-level pruning only (the PR2 shape)
+		{8, true, false, false},  // no pruning: exact space accounting
+		// telemetry collection (with the debug trace, its most invasive
+		// setting) must never change plan selection — same engine shapes,
+		// observed
+		{1, false, false, true},
+		{4, false, false, true},
 	}
 
 	for _, e := range ops {
@@ -124,12 +130,24 @@ func TestSearchEquivalence(t *testing.T) {
 			}
 			var wantTrunc *int
 			for _, v := range variants {
-				name := fmt.Sprintf("%s/cons%d/w%d/noprune=%t/nosubtree=%t",
-					e.Name, ci, v.workers, v.noPrune, v.noSubtree)
+				name := fmt.Sprintf("%s/cons%d/w%d/noprune=%t/nosubtree=%t/tel=%t",
+					e.Name, ci, v.workers, v.noPrune, v.noSubtree, v.telemetry)
 				s.Workers, s.NoPrune, s.NoSubtree = v.workers, v.noPrune, v.noSubtree
-				r, err := s.searchOp(context.Background(), e)
+				ctx := context.Background()
+				var col *Collector
+				if v.telemetry {
+					col = NewCollector(true)
+					ctx = WithCollector(ctx, col)
+				}
+				r, err := s.searchOp(ctx, e)
 				if err != nil {
 					t.Fatalf("%s: %v", name, err)
+				}
+				if col != nil {
+					evs := col.Events()
+					if len(evs) < 2 || evs[0].Event != "search.cold" || evs[len(evs)-1].Event != "search.done" {
+						t.Errorf("%s: malformed debug trace (%d events)", name, len(evs))
+					}
 				}
 				if v.noPrune || v.noSubtree {
 					// every leaf is individually evaluated: exact count

@@ -263,6 +263,17 @@ func (s *Searcher) Cached(e *expr.Expr) bool {
 	return ok
 }
 
+// CachedOnDisk reports whether e's search has a record in the disk
+// layer — a stat-only probe (plancache.PeekBlob), no read or
+// provenance check. Like Cached it is advisory, for admission pricing:
+// a disk-warm request costs a read and a decode, which is cheap but
+// not free, so it prices between a memory hit and a cold search. A
+// record that later fails its provenance check simply makes the
+// estimate optimistic — the estimate is advisory either way.
+func (s *Searcher) CachedOnDisk(e *expr.Expr) bool {
+	return s.cache.PeekBlob(s.fingerprint(e))
+}
+
 // FopCount returns the number of rule-filtered operator partition
 // candidates a cold search of e would shard — the no-search work proxy
 // behind cost-weighted admission (every shard expands into its
@@ -300,9 +311,18 @@ func isCtxErr(err error) bool {
 // a waiter whose flight *owner* was cancelled retries the search under
 // its own ctx instead of inheriting the foreign cancellation.
 func (s *Searcher) SearchOpCtx(ctx context.Context, e *expr.Expr) (*Result, error) {
+	col := CollectorFrom(ctx)
 	key := s.fingerprint(e)
 	for {
+		var probeStart time.Time
+		if col != nil {
+			probeStart = time.Now()
+		}
 		if v, ok := s.cache.Get(key); ok {
+			if col != nil {
+				col.AddProbe(time.Since(probeStart))
+				col.AddRoute(RouteMemory)
+			}
 			return v.(*Result), nil
 		}
 
@@ -313,6 +333,12 @@ func (s *Searcher) SearchOpCtx(ctx context.Context, e *expr.Expr) (*Result, erro
 			case <-f.done:
 				if f.err != nil && isCtxErr(f.err) && ctx.Err() == nil {
 					continue // the owner was cancelled, not the search: retry as owner
+				}
+				// the flight-wait is probe time: this request did no
+				// search work of its own
+				if col != nil {
+					col.AddProbe(time.Since(probeStart))
+					col.AddRoute(RouteFlightWait)
 				}
 				return f.res, f.err
 			case <-ctx.Done():
@@ -335,17 +361,34 @@ func (s *Searcher) SearchOpCtx(ctx context.Context, e *expr.Expr) (*Result, erro
 // lookupOrSearch tries the disk layer, then runs the enumeration, and
 // populates both cache layers on the way out.
 func (s *Searcher) lookupOrSearch(ctx context.Context, key plancache.Key, e *expr.Expr) (*Result, error) {
+	col := CollectorFrom(ctx)
+	var probeStart time.Time
+	if col != nil {
+		probeStart = time.Now()
+	}
 	if blob, ok := s.cache.GetBlob(key); ok {
 		if r, err := decodeResult(e, s.Cfg, blob); err == nil {
 			s.cache.Put(key, r)
+			if col != nil {
+				col.AddProbe(time.Since(probeStart))
+				col.AddRoute(RouteDisk)
+			}
 			return r, nil
 		}
 		// corrupt or stale record: fall through to a fresh search,
 		// which overwrites it
 	}
+	if col != nil {
+		col.AddProbe(time.Since(probeStart))
+	}
 	r, err := s.searchOp(ctx, e)
 	if err != nil {
 		return nil, err
+	}
+	if col != nil {
+		col.AddSearch(r.Elapsed)
+		col.AddSpaces(&r.Spaces)
+		col.AddRoute(RouteCold)
 	}
 	if s.fingerprint(e) != key {
 		// a custom cost function was (un)registered for this operator
@@ -383,9 +426,20 @@ func (s *Searcher) searchOp(ctx context.Context, e *expr.Expr) (*Result, error) 
 	start := time.Now()
 	r := &Result{Op: e.Name}
 
+	// Debug trace: every event below is gated on DebugEnabled, so the
+	// production path (collector absent, or debug off) never formats a
+	// string. Events come only from this goroutine's sequential sections
+	// — enumeration setup and the deterministic shard merge — never from
+	// the leaf recursion.
+	col := CollectorFrom(ctx)
+	debug := col.DebugEnabled()
+
 	fops := s.enumerateFops(e)
 	if len(fops) == 0 {
 		return nil, fmt.Errorf("search %s: no operator partition passes the constraints", e.Name)
+	}
+	if debug {
+		col.Event("search.cold", fmt.Sprintf("op=%s fop_shards=%d", e.Name, len(fops)))
 	}
 
 	// Worker budget: the shared compile-wide semaphore, or a private
@@ -426,6 +480,9 @@ func (s *Searcher) searchOp(ctx context.Context, e *expr.Expr) (*Result, error) 
 		// shard is processed, so even the very first shard prunes
 		// against a warm frontier instead of an empty one.
 		r.Spaces.Seeded = s.seedFrontier(e, fops, order, table, seedPred, pf)
+		if debug {
+			col.Event("search.seeded", fmt.Sprintf("op=%s seeds=%d", e.Name, r.Spaces.Seeded))
+		}
 	}
 	shards := make([]fopShard, len(fops))
 	var next atomic.Int64
@@ -509,6 +566,11 @@ func (s *Searcher) searchOp(ctx context.Context, e *expr.Expr) (*Result, error) 
 		r.Spaces.Pruned += sh.pruned
 		r.Spaces.CutSubtrees += sh.cutSubtrees
 		r.Spaces.CutLeaves += sh.cutLeaves
+		if debug && (sh.filtered > 0 || sh.cutLeaves > 0) {
+			col.Event("search.shard", fmt.Sprintf(
+				"op=%s fop=%v filtered=%d priced=%d pruned=%d cut_subtrees=%d cut_leaves=%d",
+				e.Name, fops[i], sh.filtered, len(sh.cands), sh.pruned, sh.cutSubtrees, sh.cutLeaves))
+		}
 		for j := range sh.cands {
 			front.Insert(sh.cands[j])
 		}
@@ -527,6 +589,9 @@ func (s *Searcher) searchOp(ctx context.Context, e *expr.Expr) (*Result, error) 
 		r.Spaces.Complete = s.CompleteSpace(e)
 	}
 	r.Elapsed = time.Since(start)
+	if debug {
+		col.Event("search.done", fmt.Sprintf("op=%s pareto=%d elapsed=%s", e.Name, len(r.Pareto), r.Elapsed))
+	}
 	return r, nil
 }
 

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Credit is a prepaid helper allowance. A request admitted with weight
@@ -194,32 +195,42 @@ func (s *Sem) TryAcquire(n int) bool {
 // blocking acquire from a goroutine already holding a slot would
 // deadlock the nested pools.
 func (s *Sem) Acquire(ctx context.Context, n int) error {
+	_, err := s.AcquireWait(ctx, n)
+	return err
+}
+
+// AcquireWait is Acquire reporting how long the call waited in the
+// admission queue — the compile telemetry's AdmissionWait stage. The
+// fast path (slots free, no queue) reports zero without reading the
+// clock.
+func (s *Sem) AcquireWait(ctx context.Context, n int) (time.Duration, error) {
 	if s == nil || n <= 0 {
-		return nil
+		return 0, nil
 	}
 	if n > s.cap {
-		return fmt.Errorf("sema: acquire %d slots from a %d-slot budget", n, s.cap)
+		return 0, fmt.Errorf("sema: acquire %d slots from a %d-slot budget", n, s.cap)
 	}
 	if err := ctx.Err(); err != nil {
-		return err
+		return 0, err
 	}
 	s.mu.Lock()
 	if len(s.waiters) == 0 && s.inUse+n <= s.cap {
 		s.inUse += n
 		s.mu.Unlock()
-		return nil
+		return 0, nil
 	}
 	if s.maxWait >= 0 && len(s.waiters) >= s.maxWait {
 		s.mu.Unlock()
-		return ErrSaturated
+		return 0, ErrSaturated
 	}
 	w := &waiter{n: n, ready: make(chan struct{})}
 	s.waiters = append(s.waiters, w)
 	s.mu.Unlock()
 
+	waitStart := time.Now()
 	select {
 	case <-w.ready:
-		return nil
+		return time.Since(waitStart), nil
 	case <-ctx.Done():
 		s.mu.Lock()
 		select {
@@ -240,7 +251,7 @@ func (s *Sem) Acquire(ctx context.Context, n int) error {
 			s.grantLocked()
 		}
 		s.mu.Unlock()
-		return ctx.Err()
+		return time.Since(waitStart), ctx.Err()
 	}
 }
 

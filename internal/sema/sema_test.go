@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestTryAcquireRespectsCapacity(t *testing.T) {
@@ -127,6 +128,65 @@ func TestAcquireBlocksUntilRelease(t *testing.T) {
 	if s.InUse() != 0 || s.Waiting() != 0 {
 		t.Fatalf("InUse=%d Waiting=%d after releasing everything", s.InUse(), s.Waiting())
 	}
+}
+
+func TestAcquireWaitMeasuresQueueTime(t *testing.T) {
+	s := NewShared(1, 4)
+	// the fast path never touches the clock: zero wait, by definition
+	w, err := s.AcquireWait(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 {
+		t.Fatalf("uncontended AcquireWait reported %v, want 0", w)
+	}
+
+	type res struct {
+		wait time.Duration
+		err  error
+	}
+	got := make(chan res, 1)
+	go func() {
+		w, err := s.AcquireWait(context.Background(), 1)
+		got <- res{w, err}
+	}()
+	for s.Waiting() == 0 {
+		runtime.Gosched()
+	}
+	const hold = 20 * time.Millisecond
+	time.Sleep(hold)
+	s.Release(1)
+	r := <-got
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.wait < hold {
+		t.Fatalf("queued AcquireWait reported %v, want at least the %v hold", r.wait, hold)
+	}
+	s.Release(1)
+
+	// cancellation while queued still reports the time spent waiting
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		w, err := s.AcquireWait(ctx, 1)
+		got <- res{w, err}
+	}()
+	for s.Waiting() == 0 {
+		runtime.Gosched()
+	}
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	r = <-got
+	if r.err == nil {
+		t.Fatal("cancelled AcquireWait returned no error")
+	}
+	if r.wait <= 0 {
+		t.Fatalf("cancelled AcquireWait reported %v queue time, want > 0", r.wait)
+	}
+	s.Release(1)
 }
 
 func TestAcquireSaturatesBeyondQueueBound(t *testing.T) {

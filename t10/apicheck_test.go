@@ -12,6 +12,7 @@ package t10_test
 import (
 	"context"
 	"testing"
+	"time"
 
 	"repro/internal/costmodel"
 	"repro/internal/device"
@@ -36,13 +37,23 @@ var (
 	_ func(string, costmodel.CostFunc) t10.CompilerOption = t10.WithMonotoneCostFunc
 	_ func(int) t10.CompileOption                         = t10.WithAdmissionWeight
 	_ func() t10.CompileOption                            = t10.WithDetachOnCancel
+	_ func(t10.TelemetryLevel) t10.CompileOption          = t10.WithTelemetry
+	_ func(t10.DebugLevel) t10.CompileOption              = t10.WithDebug
+	_ func(int) *t10.DetachLimit                          = t10.NewDetachLimit
 
 	// v2 entry points
-	_ func(*t10.Compiler, context.Context, *graph.Model, ...t10.CompileOption) (*t10.Executable, error) = (*t10.Compiler).Compile
-	_ func(*t10.Compiler, context.Context, *expr.Expr, ...t10.CompileOption) (*search.Result, error)    = (*t10.Compiler).Search
-	_ func(*t10.Compiler, *graph.Model) (t10.CostEstimate, error)                                       = (*t10.Compiler).EstimateCost
-	_ func(*t10.Compiler, *expr.Expr) (t10.CostEstimate, error)                                         = (*t10.Compiler).EstimateOpCost
-	_ func(t10.CostEstimate, int) int                                                                   = t10.CostEstimate.Weight
+	_ func(*t10.Compiler, context.Context, *graph.Model, ...t10.CompileOption) (*t10.Executable, error)    = (*t10.Compiler).Compile
+	_ func(*t10.Compiler, context.Context, *expr.Expr, ...t10.CompileOption) (*search.Result, error)       = (*t10.Compiler).Search
+	_ func(*t10.Compiler, context.Context, *graph.Model, ...t10.CompileOption) (*t10.CompileResult, error) = (*t10.Compiler).CompileWithResult
+	_ func(*t10.Compiler, context.Context, *expr.Expr, ...t10.CompileOption) (*t10.SearchResult, error)    = (*t10.Compiler).SearchWithResult
+	_ func(*t10.Compiler, *graph.Model) (t10.CostEstimate, error)                                          = (*t10.Compiler).EstimateCost
+	_ func(*t10.Compiler, *expr.Expr) (t10.CostEstimate, error)                                            = (*t10.Compiler).EstimateOpCost
+	_ func(t10.CostEstimate, int) int                                                                      = t10.CostEstimate.Weight
+
+	// telemetry surface
+	_ func(*t10.Telemetry) time.Duration = (*t10.Telemetry).StageSum
+	_ func(*t10.DetachLimit) int64       = (*t10.DetachLimit).Active
+	_ func(*t10.DetachLimit) int64       = (*t10.DetachLimit).Rejected
 
 	// deprecated v1 shims — kept compiling until a major break is declared
 	_ func(*t10.Compiler, *graph.Model) (*t10.Executable, error)                  = (*t10.Compiler).CompileModel
@@ -69,9 +80,26 @@ var (
 		CacheEntries:         0,
 		SharedCache:          (*plancache.Cache)(nil),
 		SharedPool:           (*sema.Sem)(nil),
+		DetachLimit:          (*t10.DetachLimit)(nil),
+		CacheSalt:            nil,
 	}
-	_ = t10.CostEstimate{Ops: 1, CachedOps: 1, ColdOps: 0, ColdFops: 0}
+	_ = t10.CostEstimate{Ops: 1, CachedOps: 1, DiskOps: 0, ColdOps: 0, ColdFops: 0}
 	_ = t10.WeightFopUnit
+
+	// the result-bearing surface: levels, the full telemetry record, and
+	// the result wrappers
+	_ = []t10.TelemetryLevel{t10.TelemetryOff, t10.TelemetryBasic, t10.TelemetryFull}
+	_ = []t10.DebugLevel{t10.DebugOff, t10.DebugSearch}
+	_ = t10.Telemetry{
+		Level: t10.TelemetryBasic, Debug: t10.DebugOff,
+		AdmissionWait: 0, CacheProbe: 0, ColdSearch: 0, Reconcile: 0, Wall: 0,
+		AdmissionWeight: 0,
+		RouteMemory:     0, RouteDisk: 0, RouteFlightWait: 0, RouteCold: 0,
+		Filtered: 0, Priced: 0, Pruned: 0, Seeded: 0, CutSubtrees: 0, CutLeaves: 0,
+		DebugEvents: []search.DebugEvent(nil),
+	}
+	_ = t10.CompileResult{Executable: (*t10.Executable)(nil), Telemetry: t10.Telemetry{}}
+	_ = t10.SearchResult{Result: (*search.Result)(nil), Telemetry: t10.Telemetry{}}
 )
 
 // TestAPICheck is the one runtime pass: a tiny device, one op, every
@@ -97,14 +125,23 @@ func TestAPICheck(t *testing.T) {
 	if est.Weight(4) != 0 {
 		t.Fatalf("cached op weight = %d, want 0", est.Weight(4))
 	}
+	sr, err := c.SearchWithResult(context.Background(), e,
+		t10.WithTelemetry(t10.TelemetryFull), t10.WithDebug(t10.DebugSearch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Telemetry.StageSum() > sr.Telemetry.Wall {
+		t.Fatal("stage sum exceeds wall")
+	}
 	m := models.TransformerTrainingStep(1, 16, 32, 64, 1)
 	if _, err := c.EstimateCost(m); err != nil {
 		t.Fatal(err)
 	}
-	exe, err := c.Compile(context.Background(), m)
+	cr, err := c.CompileWithResult(context.Background(), m, t10.WithTelemetry(t10.TelemetryBasic))
 	if err != nil {
 		t.Fatal(err)
 	}
+	exe := cr.Executable
 	if rep := exe.Simulate(); rep.TotalNs <= 0 {
 		t.Fatal("no latency")
 	}

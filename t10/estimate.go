@@ -17,9 +17,16 @@ type CostEstimate struct {
 	Ops int
 
 	// CachedOps counts unique shapes answerable from the in-memory
-	// plan cache right now (a stat-free probe; the disk layer is
-	// deliberately not consulted — see search.Searcher.Cached).
+	// plan cache right now (a stat-free probe; see
+	// search.Searcher.Cached).
 	CachedOps int
+
+	// DiskOps counts unique shapes that miss memory but have a record
+	// in the disk layer (a stat-only probe, no read): warmer than cold
+	// — a read and a decode instead of a Pareto search — but not free,
+	// so disk-warm requests price above fully cached ones and below
+	// cold ones.
+	DiskOps int
 
 	// ColdOps counts unique shapes that would run a fresh Pareto
 	// search.
@@ -39,13 +46,19 @@ type CostEstimate struct {
 const WeightFopUnit = 64
 
 // Weight maps the estimate onto admission slots for a shared pool of
-// the given capacity: 0 for fully cached requests (the cache-probe
-// fast path — skip admission entirely), otherwise one slot plus one
-// per WeightFopUnit cold partition candidates, clamped to the
-// capacity so a single huge compile can always be admitted.
+// the given capacity: 0 for fully memory-cached requests (the
+// cache-probe fast path — skip admission entirely), 1 for requests
+// whose misses are all disk-warm (a read and a decode is real work,
+// but one slot's worth no matter how many records it touches),
+// otherwise one slot plus one per WeightFopUnit cold partition
+// candidates, clamped to the capacity so a single huge compile can
+// always be admitted.
 func (e CostEstimate) Weight(capacity int) int {
 	if e.ColdOps == 0 {
-		return 0
+		if e.DiskOps == 0 {
+			return 0
+		}
+		return 1
 	}
 	w := 1 + e.ColdFops/WeightFopUnit
 	if capacity > 0 && w > capacity {
@@ -56,8 +69,9 @@ func (e CostEstimate) Weight(capacity int) int {
 
 // EstimateCost predicts how much search work compiling m would
 // trigger, without running any of it: unique operator shapes are
-// probed against the in-memory plan cache, and the cold ones are
-// priced by their rule-filtered partition-candidate count. The
+// probed against the in-memory plan cache, then the disk layer (by
+// stat alone), and the cold remainder is priced by its rule-filtered
+// partition-candidate count. The
 // estimate is advisory — a concurrent compile or eviction can change
 // the cache between the estimate and the compile — which is exactly
 // the right contract for admission control.
@@ -79,6 +93,10 @@ func (c *Compiler) EstimateCost(m *graph.Model) (CostEstimate, error) {
 			est.CachedOps++
 			continue
 		}
+		if c.searcher.CachedOnDisk(e) {
+			est.DiskOps++
+			continue
+		}
 		est.ColdOps++
 		est.ColdFops += c.searcher.FopCount(e)
 	}
@@ -93,6 +111,10 @@ func (c *Compiler) EstimateOpCost(e *expr.Expr) (CostEstimate, error) {
 	est := CostEstimate{Ops: 1}
 	if c.searcher.Cached(e) {
 		est.CachedOps = 1
+		return est, nil
+	}
+	if c.searcher.CachedOnDisk(e) {
+		est.DiskOps = 1
 		return est, nil
 	}
 	est.ColdOps = 1

@@ -62,6 +62,36 @@ func ExampleCompiler_Compile_options() {
 	// compiled: true
 }
 
+// CompileWithResult is Compile plus the request's structured telemetry:
+// stage wall times, cache routes and the admission weight, with the
+// search-space counters at TelemetryFull. The stages are disjoint
+// phases of the wall, so their sum never exceeds it, and a repeat of
+// the same model answers entirely from the plan cache.
+func ExampleCompiler_CompileWithResult() {
+	c, err := t10.New(device.IPUMK2(), t10.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cold, err := c.CompileWithResult(context.Background(), models.BERT(1),
+		t10.WithTelemetry(t10.TelemetryFull))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tel := cold.Telemetry
+	fmt.Println("stages within wall:", tel.StageSum() <= tel.Wall)
+	fmt.Println("cold ops enumerated:", tel.RouteCold > 0 && tel.Priced > 0)
+
+	warm, err := c.CompileWithResult(context.Background(), models.BERT(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("repeat served from cache:", warm.Telemetry.RouteCold == 0 && warm.Telemetry.RouteMemory > 0)
+	// Output:
+	// stages within wall: true
+	// cold ops enumerated: true
+	// repeat served from cache: true
+}
+
 // Search is the single-operator entry point: the intra-operator Pareto
 // search (§4.3.1), answering from the plan cache when warm.
 func ExampleCompiler_Search() {

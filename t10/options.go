@@ -9,12 +9,14 @@ type CompileOption func(*reqOptions)
 
 // reqOptions is the resolved per-request policy.
 type reqOptions struct {
-	weight int  // admission slots on a shared pool; 0 = cache-probe fast path
-	detach bool // finish + cache in-flight op searches on cancellation
+	weight    int  // admission slots on a shared pool; 0 = cache-probe fast path
+	detach    bool // finish + cache in-flight op searches on cancellation
+	telemetry TelemetryLevel
+	debug     DebugLevel
 }
 
 func resolveReqOptions(opts []CompileOption) reqOptions {
-	ro := reqOptions{weight: 1}
+	ro := reqOptions{weight: 1, telemetry: TelemetryBasic}
 	for _, o := range opts {
 		if o != nil {
 			o(&ro)
@@ -51,6 +53,27 @@ func WithAdmissionWeight(slots int) CompileOption {
 	}
 }
 
+// WithTelemetry sets how much telemetry the request collects into its
+// CompileResult/SearchResult. The default is TelemetryBasic — stage
+// walls, cache routes, admission weight — which is cheap enough for
+// every production request. TelemetryOff skips collection entirely
+// (the searches run the exact pre-telemetry path); TelemetryFull adds
+// the search-space counters. Collection never changes plan selection
+// at any level — the equivalence suite pins that.
+func WithTelemetry(level TelemetryLevel) CompileOption {
+	return func(ro *reqOptions) { ro.telemetry = level }
+}
+
+// WithDebug opts the request into the search trace: at DebugSearch,
+// cold enumerations record their start / frontier seeding / per-shard
+// merge accounting / completion as Telemetry.DebugEvents. Trace events
+// format strings and allocate, so this is a development tool, not a
+// production default. Debug events require telemetry to be on (any
+// level above TelemetryOff).
+func WithDebug(level DebugLevel) CompileOption {
+	return func(ro *reqOptions) { ro.debug = level }
+}
+
 // WithDetachOnCancel converts cancellation from discarded work into
 // cache warm-up: when the request's context dies, the operator searches
 // already in flight finish in the background (no new ones start) and
@@ -58,7 +81,10 @@ func WithAdmissionWeight(slots int) CompileOption {
 // resumes from warm entries. The caller still gets ctx.Err()
 // immediately; on a shared pool the request's admission slots stay held
 // until the detached work completes, so the budget keeps counting the
-// work that is genuinely still running.
+// work that is genuinely still running. A server can cap how many
+// requests may run detached at once (Options.DetachLimit); beyond the
+// cap, cancellation degrades to the plain kind — in-flight work stops
+// and the slots come back.
 func WithDetachOnCancel() CompileOption {
 	return func(ro *reqOptions) { ro.detach = true }
 }

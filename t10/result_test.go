@@ -1,0 +1,302 @@
+package t10
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+	"repro/internal/models"
+)
+
+// wellFormed asserts the telemetry invariants every successful request
+// must satisfy: stage sums bounded by the wall, route counts covering
+// exactly the unique operator searches.
+func wellFormed(t *testing.T, tel *Telemetry, uniqueOps int) {
+	t.Helper()
+	if tel.Wall <= 0 {
+		t.Fatalf("wall = %v, want > 0", tel.Wall)
+	}
+	if sum := tel.StageSum(); sum > tel.Wall {
+		t.Fatalf("stage sum %v exceeds wall %v", sum, tel.Wall)
+	}
+	if got := tel.RouteMemory + tel.RouteDisk + tel.RouteFlightWait + tel.RouteCold; got != uniqueOps {
+		t.Fatalf("routes sum to %d, want the %d unique operator searches", got, uniqueOps)
+	}
+}
+
+// TestCompileWithResultTelemetry walks one model through all three
+// cache temperatures and checks the telemetry tells the story: a cold
+// compile routes every unique op to the enumerator, a repeat answers
+// from memory, and a fresh process over the same cache dir answers from
+// disk. Plan selection is bit-identical to the plain Compile wrapper
+// throughout.
+func TestCompileWithResultTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.CacheDir = dir
+	c, err := New(device.IPUMK2(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := models.BERT(1)
+	est, err := c.EstimateCost(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniq := est.Ops
+
+	cold, err := c.CompileWithResult(context.Background(), m, WithTelemetry(TelemetryFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := &cold.Telemetry
+	wellFormed(t, tel, uniq)
+	if tel.Level != TelemetryFull {
+		t.Fatalf("level = %v, want TelemetryFull", tel.Level)
+	}
+	if tel.RouteCold != uniq {
+		t.Fatalf("cold compile: RouteCold = %d, want %d", tel.RouteCold, uniq)
+	}
+	if tel.ColdSearch <= 0 || tel.Reconcile <= 0 {
+		t.Fatalf("cold compile: ColdSearch = %v, Reconcile = %v, want both > 0", tel.ColdSearch, tel.Reconcile)
+	}
+	if tel.Filtered == 0 || tel.Priced == 0 {
+		t.Fatalf("TelemetryFull cold compile collected no space counters: %+v", tel)
+	}
+
+	warm, err := c.CompileWithResult(context.Background(), models.BERT(1), WithTelemetry(TelemetryFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtel := &warm.Telemetry
+	wellFormed(t, wtel, uniq)
+	if wtel.RouteMemory != uniq || wtel.RouteCold != 0 {
+		t.Fatalf("warm compile routes: %+v, want all %d from memory", wtel, uniq)
+	}
+	if wtel.Filtered != 0 {
+		t.Fatalf("warm compile reported %d filtered candidates, want 0 (no search ran)", wtel.Filtered)
+	}
+	sameExecutables(t, cold.Executable, warm.Executable)
+
+	// a fresh compiler over the same dir: cold memory, warm disk
+	c2, err := New(device.IPUMK2(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := c2.CompileWithResult(context.Background(), models.BERT(1), WithTelemetry(TelemetryFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtel := &disk.Telemetry
+	wellFormed(t, dtel, uniq)
+	if dtel.RouteDisk != uniq || dtel.RouteCold != 0 {
+		t.Fatalf("disk-warm compile routes: %+v, want all %d from disk", dtel, uniq)
+	}
+	sameExecutables(t, cold.Executable, disk.Executable)
+
+	// the plain wrapper selects the same plans
+	exe, err := c2.Compile(context.Background(), models.BERT(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameExecutables(t, cold.Executable, exe)
+}
+
+// TestSearchWithResultRoutesAndDebug pins the single-operator telemetry:
+// route classification across temperatures, the opt-in debug trace, and
+// the TelemetryOff contract (nothing collected, plans identical).
+func TestSearchWithResultRoutesAndDebug(t *testing.T) {
+	c, err := New(device.IPUMK2(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := expr.MatMul("mm", 256, 256, 512, dtype.FP16)
+
+	cold, err := c.SearchWithResult(context.Background(), e,
+		WithTelemetry(TelemetryFull), WithDebug(DebugSearch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := &cold.Telemetry
+	wellFormed(t, tel, 1)
+	if tel.RouteCold != 1 {
+		t.Fatalf("cold search routes: %+v, want 1 cold", tel)
+	}
+	if tel.ColdSearch <= 0 {
+		t.Fatalf("cold search: ColdSearch = %v, want > 0", tel.ColdSearch)
+	}
+	evs := tel.DebugEvents
+	if len(evs) < 2 || evs[0].Event != "search.cold" || evs[len(evs)-1].Event != "search.done" {
+		t.Fatalf("debug trace malformed: %d events", len(evs))
+	}
+
+	warm, err := c.SearchWithResult(context.Background(), e, WithTelemetry(TelemetryBasic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtel := &warm.Telemetry
+	wellFormed(t, wtel, 1)
+	if wtel.RouteMemory != 1 || wtel.ColdSearch != 0 {
+		t.Fatalf("warm search: %+v, want a pure memory hit", wtel)
+	}
+	if wtel.DebugEvents != nil {
+		t.Fatal("debug events collected without WithDebug")
+	}
+	if wtel.Filtered != 0 {
+		t.Fatal("TelemetryBasic lifted space counters")
+	}
+
+	// TelemetryOff: same plans, empty record
+	off, err := c.SearchWithResult(context.Background(), e, WithTelemetry(TelemetryOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Telemetry.Level != TelemetryOff || off.Telemetry.RouteMemory != 0 {
+		t.Fatalf("TelemetryOff collected routes: %+v", off.Telemetry)
+	}
+	if len(off.Result.Pareto) != len(cold.Result.Pareto) {
+		t.Fatalf("pareto sizes differ across telemetry levels: %d vs %d",
+			len(off.Result.Pareto), len(cold.Result.Pareto))
+	}
+	for i := range cold.Result.Pareto {
+		if off.Result.Pareto[i].Plan.String() != cold.Result.Pareto[i].Plan.String() {
+			t.Fatalf("pareto[%d] differs across telemetry levels", i)
+		}
+	}
+}
+
+// TestTelemetryNeverChangesSelection compiles one model at the two
+// telemetry extremes on fresh compilers and requires bit-identical
+// executables — collection observes the search, it never steers it.
+// (The engine-level equivalence suite pins the same property against
+// the brute-force reference.)
+func TestTelemetryNeverChangesSelection(t *testing.T) {
+	build := func(opts ...CompileOption) *Executable {
+		t.Helper()
+		c, err := New(device.IPUMK2(), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := c.CompileWithResult(context.Background(), models.BERT(1), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cr.Executable
+	}
+	off := build(WithTelemetry(TelemetryOff))
+	full := build(WithTelemetry(TelemetryFull), WithDebug(DebugSearch))
+	sameExecutables(t, off, full)
+}
+
+// TestDetachLimitCapsDetachedRequests pins the cap deterministically by
+// occupying the only detach slot out-of-band: a cancellation that wants
+// to detach is degraded to the plain kind (counted in Rejected), and
+// once the slot frees, the next cancellation detaches and warms the
+// cache as usual.
+func TestDetachLimitCapsDetachedRequests(t *testing.T) {
+	gate := NewDetachLimit(1)
+	opts := DefaultOptions()
+	opts.DetachLimit = gate
+	c, err := New(device.IPUMK2(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if !gate.tryEnter() {
+		t.Fatal("could not occupy the detach slot")
+	}
+	e := expr.MatMul("capped", 512, 512, 1024, dtype.FP16)
+	if _, err := c.Search(dead, e, WithDetachOnCancel()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if gate.Rejected() != 1 {
+		t.Fatalf("Rejected = %d, want 1 (the cap degraded the detach)", gate.Rejected())
+	}
+	if gate.Active() != 1 {
+		t.Fatalf("Active = %d, want only the out-of-band occupant", gate.Active())
+	}
+	gate.exit()
+
+	// with the slot free, detach proceeds: the background search lands in
+	// the cache and the gauge returns to zero
+	e2 := expr.MatMul("granted", 512, 512, 1024, dtype.FP16)
+	if _, err := c.Search(dead, e2, WithDetachOnCancel()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		est, err := c.EstimateOpCost(e2)
+		if err == nil && est.CachedOps == 1 && gate.Active() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("granted detach never drained: Active=%d", gate.Active())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if gate.Rejected() != 1 {
+		t.Fatalf("Rejected = %d after a granted detach, want still 1", gate.Rejected())
+	}
+}
+
+// TestEstimateCostDiskWarm pins the disk-aware pricing: a request whose
+// misses are all answerable from the disk layer weighs 1 — above the
+// weight-0 memory fast path, below a cold request's fop-scaled weight.
+func TestEstimateCostDiskWarm(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.CacheDir = dir
+	c, err := New(device.IPUMK2(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := models.BERT(1)
+	if _, err := c.Compile(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
+
+	// a fresh compiler over the same dir: memory cold, disk warm
+	c2, err := New(device.IPUMK2(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := c2.EstimateCost(models.BERT(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.DiskOps != est.Ops || est.CachedOps != 0 || est.ColdOps != 0 {
+		t.Fatalf("disk-warm estimate: %+v, want every op disk-warm", est)
+	}
+	if w := est.Weight(8); w != 1 {
+		t.Fatalf("disk-warm weight = %d, want 1", w)
+	}
+
+	e := expr.MatMul("op", 256, 256, 512, dtype.FP16)
+	if _, err := c2.Search(context.Background(), e); err != nil {
+		t.Fatal(err)
+	}
+	opEst, err := c2.EstimateOpCost(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opEst.CachedOps != 1 || opEst.Weight(8) != 0 {
+		t.Fatalf("memory-warm op estimate: %+v, want weight 0", opEst)
+	}
+	c3, err := New(device.IPUMK2(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opEst, err = c3.EstimateOpCost(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opEst.DiskOps != 1 || opEst.Weight(8) != 1 {
+		t.Fatalf("disk-warm op estimate: %+v, want DiskOps 1 / weight 1", opEst)
+	}
+}

@@ -21,8 +21,15 @@
 // request's admission on a shared worker budget by its predicted
 // compile cost (see Compiler.EstimateCost), and WithDetachOnCancel
 // turns a cancelled request's in-flight operator searches into cache
-// warm-up instead of discarded work. The v1 entry points
-// (CompileModel, CompileModelCtx, SearchOp, SearchOpCtx,
+// warm-up instead of discarded work.
+//
+// CompileWithResult and SearchWithResult are the result-bearing forms:
+// they return the same plans plus a structured Telemetry record —
+// per-stage wall times, cache routes, admission weight, and (behind
+// WithTelemetry/WithDebug) search-space counters and the search trace.
+// Compile and Search are thin wrappers over them that discard the
+// telemetry; collection never changes plan selection. The v1 entry
+// points (CompileModel, CompileModelCtx, SearchOp, SearchOpCtx,
 // RegisterCostFunc) remain as deprecated one-line shims.
 package t10
 
@@ -106,6 +113,19 @@ type Options struct {
 	// pool never exceeds its capacity. Workers still bounds how wide a
 	// single compile tries to fan out.
 	SharedPool *sema.Sem
+
+	// DetachLimit, when non-nil, caps how many WithDetachOnCancel
+	// requests may run detached at once across every compiler sharing
+	// the limiter; beyond the cap, cancellation degrades to the plain
+	// kind. See NewDetachLimit.
+	DetachLimit *DetachLimit
+
+	// CacheSalt is the deployment secret that HMACs persisted plan
+	// records (ignored under SharedCache, which carries its own salt):
+	// a disk cache written under one salt loads as all-misses under any
+	// other, and tampered records are rejected rather than trusted. See
+	// plancache.Options.Salt.
+	CacheSalt []byte
 }
 
 // DefaultOptions returns the paper's defaults.
@@ -198,6 +218,7 @@ func New(spec *device.Spec, opts Options, copts ...CompilerOption) (*Compiler, e
 		s.SetCache(plancache.New(plancache.Options{
 			MaxEntries: opts.CacheEntries,
 			Dir:        opts.CacheDir,
+			Salt:       opts.CacheSalt,
 		}))
 	}
 	c := &Compiler{
@@ -231,26 +252,28 @@ func New(spec *device.Spec, opts Options, copts ...CompilerOption) (*Compiler, e
 // pool the weight is ignored.
 //
 // The second return is the granted weight after clamping (0 on private
-// pools and probes).
-func (c *Compiler) enter(ctx context.Context, weight int) (func(), int, error) {
+// pools and probes); the third is how long the call waited in the
+// admission queue (the telemetry's AdmissionWait stage).
+func (c *Compiler) enter(ctx context.Context, weight int) (func(), int, time.Duration, error) {
 	if !c.shared {
 		c.pool.Enter()
-		return func() { c.pool.Exit() }, 0, nil
+		return func() { c.pool.Exit() }, 0, 0, nil
 	}
 	if weight <= 0 {
-		return func() {}, 0, nil
+		return func() {}, 0, 0, nil
 	}
 	if max := c.pool.Cap(); weight > max {
 		weight = max
 	}
-	if err := c.pool.Acquire(ctx, weight); err != nil {
-		return nil, 0, err
+	wait, err := c.pool.AcquireWait(ctx, weight)
+	if err != nil {
+		return nil, 0, wait, err
 	}
 	c.pool.Enter()
 	return func() {
 		c.pool.Exit()
 		c.pool.Release(weight)
-	}, weight, nil
+	}, weight, wait, nil
 }
 
 // withCredit attaches the request's prepaid helper allowance — the
@@ -281,40 +304,65 @@ func (c *Compiler) CacheStats() plancache.Stats { return c.searcher.Cache().Stat
 // first acquires its admission slots (WithAdmissionWeight many;
 // sema.ErrSaturated when the pool's queue is full).
 func (c *Compiler) Search(ctx context.Context, e *expr.Expr, opts ...CompileOption) (*search.Result, error) {
+	sr, err := c.SearchWithResult(ctx, e, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sr.Result, nil
+}
+
+// SearchWithResult is Search returning the request's telemetry
+// alongside the plans: how long the request queued at admission, which
+// cache route answered it, and — at TelemetryFull — the search-space
+// accounting of any cold enumeration it ran. Search is a thin wrapper
+// that discards the telemetry; plan selection is bit-identical between
+// the two (and across every TelemetryLevel).
+func (c *Compiler) SearchWithResult(ctx context.Context, e *expr.Expr, opts ...CompileOption) (*SearchResult, error) {
 	ro := resolveReqOptions(opts)
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
-	leave, granted, err := c.enter(ctx, ro.weight)
+	start := time.Now()
+	tel := Telemetry{Level: ro.telemetry, Debug: ro.debug}
+	leave, granted, wait, err := c.enter(ctx, ro.weight)
 	if err != nil {
 		return nil, err
 	}
+	tel.AdmissionWait = wait
+	tel.AdmissionWeight = granted
 	ctx = withCredit(ctx, granted)
+	col := ro.newCollector()
+	run := func(sctx context.Context) (*search.Result, error) {
+		return c.searcher.SearchOpCtx(search.WithCollector(sctx, col), e)
+	}
+	var r *search.Result
 	if !ro.detach {
-		defer leave()
-		return c.searcher.SearchOpCtx(ctx, e)
+		func() {
+			defer leave()
+			r, err = run(ctx)
+		}()
+	} else {
+		// Detach-on-cancel: the search runs under a cancellation-free
+		// context on its own goroutine, holding the admission slots until
+		// it finishes; the caller returns ctx.Err() as soon as ctx dies,
+		// and the completed result lands in the plan cache for the retry.
+		// The server-wide DetachLimit can degrade this to plain
+		// cancellation under a detach storm.
+		r, err = detachRun(ctx, c.Opts.DetachLimit, leave, run)
 	}
-	// Detach-on-cancel: the search itself runs under a cancellation-free
-	// context on its own goroutine, holding the admission slots until it
-	// finishes (the work is still running, so the budget must still see
-	// it); the caller returns ctx.Err() as soon as ctx dies, and the
-	// completed result lands in the plan cache for the retry.
-	type outcome struct {
-		r   *search.Result
-		err error
+	if err != nil {
+		return nil, err
 	}
-	done := make(chan outcome, 1)
-	go func() {
-		defer leave()
-		r, err := c.searcher.SearchOpCtx(context.WithoutCancel(ctx), e)
-		done <- outcome{r, err}
-	}()
-	select {
-	case o := <-done:
-		return o.r, o.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	// A single-operator request resolves sequentially, so the
+	// collector's probe and search times are disjoint wall phases.
+	tel.fill(col)
+	if col != nil {
+		tot := col.Snapshot()
+		tel.CacheProbe = time.Duration(tot.ProbeNs)
+		tel.ColdSearch = time.Duration(tot.SearchNs)
 	}
+	tel.Wall = time.Since(start)
+	return &SearchResult{Result: r, Telemetry: tel}, nil
 }
 
 // Executable is a compiled model: per-operator idle/active plans plus
@@ -352,41 +400,68 @@ type Executable struct {
 // reconciliation (§4.3.2) stays sequential and deterministic, so plan
 // selection is bit-identical at every pool width.
 func (c *Compiler) Compile(ctx context.Context, m *graph.Model, opts ...CompileOption) (*Executable, error) {
+	cr, err := c.CompileWithResult(ctx, m, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return cr.Executable, nil
+}
+
+// CompileWithResult is Compile returning the request's telemetry
+// alongside the executable: per-stage wall times (admission wait,
+// operator-search phase, assembly cache probes, reconciliation), how
+// each unique operator search was answered (cache routes), the
+// admission weight charged, and — at TelemetryFull — the search-space
+// accounting of the cold enumerations the request actually ran.
+// Compile is a thin wrapper that discards the telemetry; plan
+// selection is bit-identical between the two (and across every
+// TelemetryLevel — collection observes the search, it never steers
+// it).
+func (c *Compiler) CompileWithResult(ctx context.Context, m *graph.Model, opts ...CompileOption) (*CompileResult, error) {
 	ro := resolveReqOptions(opts)
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	leave, granted, err := c.enter(ctx, ro.weight)
+	start := time.Now()
+	tel := Telemetry{Level: ro.telemetry, Debug: ro.debug}
+	leave, granted, wait, err := c.enter(ctx, ro.weight)
 	if err != nil {
 		return nil, err
 	}
+	tel.AdmissionWait = wait
+	tel.AdmissionWeight = granted
 	ctx = withCredit(ctx, granted)
+	col := ro.newCollector()
+	stages := &tel
+	if ro.telemetry <= TelemetryOff {
+		stages = nil // skip the phase clocks too
+	}
+	run := func(sctx context.Context) (*Executable, error) {
+		return c.compileModel(ctx, sctx, m, col, stages)
+	}
+	var exe *Executable
 	if !ro.detach {
-		defer leave()
-		return c.compileModel(ctx, ctx, m)
+		func() {
+			defer leave()
+			exe, err = run(ctx)
+		}()
+	} else {
+		// Detach-on-cancel: the body keeps ctx for its loop boundaries
+		// (so no NEW operator search starts after cancellation) but hands
+		// the searches a cancellation-free context, runs on its own
+		// goroutine, and holds the admission slots until the in-flight
+		// searches have finished and been cached. The caller returns
+		// ctx.Err() immediately; the retry finds the warm entries. The
+		// server-wide DetachLimit can degrade this to plain cancellation
+		// under a detach storm.
+		exe, err = detachRun(ctx, c.Opts.DetachLimit, leave, run)
 	}
-	// Detach-on-cancel: the body keeps ctx for its loop boundaries (so
-	// no NEW operator search starts after cancellation) but hands the
-	// searches a cancellation-free context, runs on its own goroutine,
-	// and holds the admission slots until the in-flight searches have
-	// finished and been cached. The caller returns ctx.Err()
-	// immediately; the retry finds the warm entries.
-	type outcome struct {
-		exe *Executable
-		err error
+	if err != nil {
+		return nil, err
 	}
-	done := make(chan outcome, 1)
-	go func() {
-		defer leave()
-		exe, err := c.compileModel(ctx, context.WithoutCancel(ctx), m)
-		done <- outcome{exe, err}
-	}()
-	select {
-	case o := <-done:
-		return o.exe, o.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
+	tel.fill(col)
+	tel.Wall = time.Since(start)
+	return &CompileResult{Executable: exe, Telemetry: tel}, nil
 }
 
 // compileModel is Compile's body. reqCtx bounds the request: it is
@@ -396,7 +471,14 @@ func (c *Compiler) Compile(ctx context.Context, m *graph.Model, opts ...CompileO
 // context normally, a cancellation-free one in detach mode, which is
 // exactly the difference between abandoning in-flight work and
 // converting it into cache warm-up.
-func (c *Compiler) compileModel(reqCtx, searchCtx context.Context, m *graph.Model) (*Executable, error) {
+//
+// col, when non-nil, collects the warm loop's cache routes and search
+// aggregates; it is deliberately NOT attached to the assembly loop
+// below, whose per-op re-fetches would double-count every operator as
+// a memory hit. tel, when non-nil, receives the stage walls: the
+// phases are disjoint intervals of this function's wall clock, so
+// their sum can never exceed the request's Wall.
+func (c *Compiler) compileModel(reqCtx, searchCtx context.Context, m *graph.Model, col *search.Collector, tel *Telemetry) (*Executable, error) {
 	start := time.Now()
 
 	// warm the plan cache: unique operator shapes in first-appearance
@@ -410,6 +492,7 @@ func (c *Compiler) compileModel(reqCtx, searchCtx context.Context, m *graph.Mode
 			uniq = append(uniq, m.Ops[i].Expr)
 		}
 	}
+	warmCtx := search.WithCollector(searchCtx, col)
 	errs := make([]error, len(uniq))
 	var next atomic.Int64
 	work := func() {
@@ -421,7 +504,7 @@ func (c *Compiler) compileModel(reqCtx, searchCtx context.Context, m *graph.Mode
 			if i >= len(uniq) {
 				return
 			}
-			if _, err := c.searcher.SearchOpCtx(searchCtx, uniq[i]); err != nil {
+			if _, err := c.searcher.SearchOpCtx(warmCtx, uniq[i]); err != nil {
 				errs[i] = fmt.Errorf("op %s: %w", uniq[i].Name, err)
 			}
 		}
@@ -452,6 +535,9 @@ func (c *Compiler) compileModel(reqCtx, searchCtx context.Context, m *graph.Mode
 	}
 	work()
 	wg.Wait()
+	if tel != nil {
+		tel.ColdSearch = time.Since(start)
+	}
 	if err := reqCtx.Err(); err != nil {
 		return nil, err
 	}
@@ -463,6 +549,7 @@ func (c *Compiler) compileModel(reqCtx, searchCtx context.Context, m *graph.Mode
 		}
 	}
 
+	probeStart := time.Now()
 	extraLive := m.ExtraLiveBytes()
 	plans := make([]interop.OpPlans, len(m.Ops))
 	for i := range m.Ops {
@@ -475,7 +562,11 @@ func (c *Compiler) compileModel(reqCtx, searchCtx context.Context, m *graph.Mode
 			LiveBytesPerCore: ceilDiv64(extraLive[i], int64(c.Spec.Cores)),
 		}
 	}
+	if tel != nil {
+		tel.CacheProbe = time.Since(probeStart)
+	}
 
+	reconcileStart := time.Now()
 	var sched *interop.Schedule
 	var err error
 	if c.Opts.InterOp {
@@ -485,6 +576,9 @@ func (c *Compiler) compileModel(reqCtx, searchCtx context.Context, m *graph.Mode
 	}
 	if err != nil {
 		return nil, err
+	}
+	if tel != nil {
+		tel.Reconcile = time.Since(reconcileStart)
 	}
 	return &Executable{
 		Model: m, Spec: c.Spec, Schedule: sched, Plans: plans,
