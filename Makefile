@@ -9,7 +9,12 @@ COVER_MIN ?= 79.4
 # Per-target budget for the fuzz smoke run.
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-race bench-search cover fuzz-smoke lint fmt apicheck
+# Seed for the fault-injection (chaos) suite: the whole fault schedule
+# is drawn from it, so a failing run reproduces byte-identically with
+# the seed it printed. Override to replay: make chaos CHAOS_SEED=12345
+CHAOS_SEED ?= 20240807
+
+.PHONY: build test bench bench-race bench-search cover fuzz-smoke chaos lint fmt apicheck
 
 build:
 	$(GO) build ./...
@@ -51,6 +56,14 @@ cover:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzCompileRequest -fuzztime=$(FUZZTIME) -parallel=4 ./cmd/t10serve
 	$(GO) test -run='^$$' -fuzz=FuzzModelRoundTrip -fuzztime=$(FUZZTIME) -parallel=4 ./internal/graph
+
+# Fault-injection suite under the race detector: the remote plan-cache
+# tier (breakers, retries, timeouts) and the fleet soak, driven through
+# a seeded ChaosTransport so the schedule of resets / 5xx / stalls /
+# corrupted payloads is reproducible.
+chaos:
+	T10_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -run='Chaos|Fleet|Remote|Breaker|Plans' \
+		-count=1 -race ./internal/plancache ./cmd/t10serve
 
 # Public-API surface check: compile and run the build-tag-gated t10
 # surface test, which pins every exported symbol — including the

@@ -33,18 +33,33 @@
 // key, HMAC'd under -cache-salt when set), so a foreign or tampered
 // record loads as a miss and is overwritten, never trusted.
 //
+// With -peers, replicas form a fleet that shares plan-cache warmth:
+// a local miss asks the peers' /plans stores (timeouts, bounded
+// retries, per-peer circuit breakers — see plancache.Remote) before
+// falling back to the cold search, and every freshly sealed record is
+// pushed to the peers best-effort. The /plans handlers serve sealed
+// records straight from disk and never touch the compile budget (the
+// same idea as the weight-0 cache-probe fast path), and every record a
+// peer serves still passes this replica's provenance verification —
+// a slow, dead or garbage-serving peer degrades to counted misses,
+// never to failed compiles.
+//
 // Endpoints:
 //
 //	POST /compile    {"model":"BERT","batch":8,"simulate":true}
 //	                 {"op":{"name":"mm","m":1024,"k":1024,"n":4096,"dtype":"fp16"}}
+//	GET  /plans/{fingerprint}  sealed plan record, verbatim (fleet peers)
+//	PUT  /plans/{fingerprint}  store a sealed record (verified first)
 //	GET  /cachestats plan cache counters as JSON
 //	GET  /stats      serving counters: in-flight, queued, rejected, cancelled,
-//	                 per-stage latency percentiles, per-route hits, detach gauges
+//	                 per-stage latency percentiles, per-route hits, detach
+//	                 gauges, remote-tier health (per-peer breaker states)
 //	GET  /healthz    liveness probe
 //
 // Usage:
 //
-//	t10serve -addr :8080 -cachedir /var/cache/t10 -workers 8 -queue 64 -compile-timeout 2m
+//	t10serve -addr :8080 -cachedir /var/cache/t10 -workers 8 -queue 64 -compile-timeout 2m \
+//	         -peers http://replica2:8080,http://replica3:8080
 package main
 
 import (
@@ -60,6 +75,7 @@ import (
 	"os/signal"
 	"runtime"
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -70,6 +86,7 @@ import (
 	"repro/internal/dtype"
 	"repro/internal/expr"
 	"repro/internal/models"
+	"repro/internal/plancache"
 	"repro/internal/sema"
 	"repro/t10"
 )
@@ -83,6 +100,7 @@ func main() {
 	detach := flag.Bool("detach-on-cancel", false, "finish (and cache) in-flight operator searches of cancelled requests in the background, so retries hit the plan cache")
 	detachLimit := flag.Int("detach-limit", 0, "max concurrently detached (cancelled but still compiling) requests; beyond it cancellation degrades to the plain kind (0 = the worker budget)")
 	cacheSalt := flag.String("cache-salt", "", "deployment secret HMAC'ing persisted plan records; records written under another salt (or tampered with) load as misses")
+	peers := flag.String("peers", "", "comma-separated base URLs of fleet peers whose /plans stores answer cache misses before a cold search (empty = no remote tier)")
 	flag.Parse()
 
 	budget := *workers
@@ -101,16 +119,22 @@ func main() {
 	opts.Workers = budget
 	opts.SharedPool = pool
 	opts.DetachLimit = limiter
+	var remote *plancache.Remote
+	if urls := splitPeers(*peers); len(urls) > 0 {
+		remote = plancache.NewRemote(plancache.RemoteOptions{Peers: urls})
+		opts.Remote = remote
+	}
 	c, err := t10.New(device.IPUMK2(), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "t10serve:", err)
 		os.Exit(1)
 	}
-	log.Printf("t10serve: listening on %s (device %s, budget %d workers, queue %d, compile timeout %v, detach-on-cancel %t (limit %d), cache dir %q)",
-		*addr, c.Spec.Name, budget, *queue, *timeout, *detach, dlim, *cacheDir)
+	log.Printf("t10serve: listening on %s (device %s, budget %d workers, queue %d, compile timeout %v, detach-on-cancel %t (limit %d), cache dir %q, peers %v)",
+		*addr, c.Spec.Name, budget, *queue, *timeout, *detach, dlim, *cacheDir, remote.Peers())
 	hsrv := newServer(c, pool, *timeout)
 	hsrv.detach = *detach
 	hsrv.detachLimit = limiter
+	hsrv.remote = remote
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           hsrv.mux(),
@@ -136,7 +160,20 @@ func main() {
 		if err := srv.Shutdown(drainCtx); err != nil {
 			log.Printf("t10serve: drain incomplete: %v", err)
 		}
+		remote.Close() // flush in-flight best-effort publishes (nil-safe)
 	}
+}
+
+// splitPeers parses the -peers flag: comma-separated base URLs, blanks
+// dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 // maxBodyBytes bounds /compile request bodies; the largest legitimate
@@ -157,10 +194,11 @@ const (
 // lifting.
 type server struct {
 	c           *t10.Compiler
-	pool        *sema.Sem        // the shared budget, for /stats and admission gauges
-	timeout     time.Duration    // per-request compile deadline; 0 = none
-	detach      bool             // cancelled requests warm the cache instead of wasting work
-	detachLimit *t10.DetachLimit // cap + gauges on concurrently detached requests (nil = uncapped)
+	pool        *sema.Sem         // the shared budget, for /stats and admission gauges
+	timeout     time.Duration     // per-request compile deadline; 0 = none
+	detach      bool              // cancelled requests warm the cache instead of wasting work
+	detachLimit *t10.DetachLimit  // cap + gauges on concurrently detached requests (nil = uncapped)
+	remote      *plancache.Remote // fleet peer tier (nil = standalone); nil-safe methods
 
 	inFlight     atomic.Int64 // requests currently compiling (or queued for a slot)
 	completed    atomic.Int64 // 200s served
@@ -175,7 +213,10 @@ type server struct {
 
 	// cumulative cache-route counters across every 200 (one count per
 	// unique operator search a request performed)
-	routeMemory, routeDisk, routeFlight, routeCold atomic.Int64
+	routeMemory, routeDisk, routeRemote, routeFlight, routeCold atomic.Int64
+
+	// peer-facing /plans serve counters (this replica as a fleet peer)
+	planGets, planGetMisses, planPuts, planPutRejects atomic.Int64
 
 	// per-stage latency rings behind the /stats percentiles
 	latAdmission, latProbe, latSearch, latReconcile, latWall latRing
@@ -215,9 +256,12 @@ type percentileJSON struct {
 }
 
 func (r *latRing) percentiles() percentileJSON {
+	// allocate the snapshot before taking the lock: the ring is written
+	// on every request, and an allocation (with a possible GC assist)
+	// inside the critical section stalls them all
+	vals := make([]int64, 0, latRingSize)
 	r.mu.Lock()
-	vals := make([]int64, r.n)
-	copy(vals, r.buf[:r.n])
+	vals = append(vals, r.buf[:r.n]...)
 	r.mu.Unlock()
 	if len(vals) == 0 {
 		return percentileJSON{}
@@ -242,6 +286,7 @@ func newServer(c *t10.Compiler, pool *sema.Sem, timeout time.Duration) *server {
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
 	m.HandleFunc("/compile", s.handleCompile)
+	m.HandleFunc("/plans/", s.handlePlans)
 	m.HandleFunc("/cachestats", s.handleCacheStats)
 	m.HandleFunc("/stats", s.handleStats)
 	m.HandleFunc("/healthz", s.handleHealthz)
@@ -339,8 +384,9 @@ type compileResponse struct {
 // the admission weight. Stage durations are disjoint phases of the
 // request wall, so their sum never exceeds wall_us — the soak test
 // asserts it on every response. For single-operator requests, route
-// names the one route that answered ("memory", "disk", "singleflight",
-// "cold"); model requests carry the per-route counts instead.
+// names the one route that answered ("memory", "disk", "remote",
+// "singleflight", "cold"); model requests carry the per-route counts
+// instead.
 type telemetryJSON struct {
 	AdmissionWaitUs int64  `json:"admission_wait_us"`
 	CacheProbeUs    int64  `json:"cache_probe_us"`
@@ -351,6 +397,7 @@ type telemetryJSON struct {
 	Route           string `json:"route,omitempty"` // single-op only
 	RouteMemory     int    `json:"route_memory"`
 	RouteDisk       int    `json:"route_disk"`
+	RouteRemote     int    `json:"route_remote"`
 	RouteFlightWait int    `json:"route_singleflight"`
 	RouteCold       int    `json:"route_cold"`
 
@@ -375,6 +422,7 @@ func (s *server) recordTelemetry(tel *t10.Telemetry) *telemetryJSON {
 	s.latWall.add(tel.Wall)
 	s.routeMemory.Add(int64(tel.RouteMemory))
 	s.routeDisk.Add(int64(tel.RouteDisk))
+	s.routeRemote.Add(int64(tel.RouteRemote))
 	s.routeFlight.Add(int64(tel.RouteFlightWait))
 	s.routeCold.Add(int64(tel.RouteCold))
 	return &telemetryJSON{
@@ -386,6 +434,7 @@ func (s *server) recordTelemetry(tel *t10.Telemetry) *telemetryJSON {
 		AdmissionWeight: tel.AdmissionWeight,
 		RouteMemory:     tel.RouteMemory,
 		RouteDisk:       tel.RouteDisk,
+		RouteRemote:     tel.RouteRemote,
 		RouteFlightWait: tel.RouteFlightWait,
 		RouteCold:       tel.RouteCold,
 		Filtered:        tel.Filtered,
@@ -404,6 +453,8 @@ func opRoute(tel *t10.Telemetry) string {
 	switch {
 	case tel.RouteCold > 0:
 		return "cold"
+	case tel.RouteRemote > 0:
+		return "remote"
 	case tel.RouteDisk > 0:
 		return "disk"
 	case tel.RouteFlightWait > 0:
@@ -580,23 +631,110 @@ func (s *server) compileOp(ctx context.Context, w http.ResponseWriter, spec *opS
 	s.writeJSON(w, resp)
 }
 
+// retryAfter bounds and default for retryAfterSeconds: never tell a
+// client to come back sooner than 1s (pointless hammering) or later
+// than 30s (the queue drains far faster than that at any plausible
+// load — a huge p95 means a burst just passed, not a 30s+ wait).
+const (
+	retryAfterFloorSec   = 1
+	retryAfterCeilingSec = 30
+)
+
+// retryAfterSeconds derives the Retry-After hint from load actually
+// observed: the p95 of recent admission waits — how long the requests
+// that did get in recently queued for a slot — rounded up to whole
+// seconds and clamped. With no samples yet (cold server shedding its
+// first burst), the floor.
+func (s *server) retryAfterSeconds() int {
+	p := s.latAdmission.percentiles()
+	if p.Samples == 0 {
+		return retryAfterFloorSec
+	}
+	sec := int((p.P95Us + 1e6 - 1) / 1e6)
+	if sec < retryAfterFloorSec {
+		return retryAfterFloorSec
+	}
+	if sec > retryAfterCeilingSec {
+		return retryAfterCeilingSec
+	}
+	return sec
+}
+
 // compileError maps a failed compile to the load-shedding protocol:
 // saturated admission queue → 429 Too Many Requests, cancelled or
-// deadline-expired → 503 Service Unavailable (both with Retry-After —
-// the condition is transient), anything else → 422 (the request is
-// well-formed but infeasible).
+// deadline-expired → 503 Service Unavailable (both with a Retry-After
+// derived from the observed queue-wait p95 — the condition is
+// transient, and the hint should track how congested the queue
+// actually is), anything else → 422 (the request is well-formed but
+// infeasible).
 func (s *server) compileError(w http.ResponseWriter, what string, err error) {
 	switch {
 	case errors.Is(err, sema.ErrSaturated):
 		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		s.httpError(w, http.StatusTooManyRequests, "%s: compile budget saturated", what)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.cancelled.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		s.httpError(w, http.StatusServiceUnavailable, "%s: %v", what, err)
 	default:
 		s.httpError(w, http.StatusUnprocessableEntity, "%s: %v", what, err)
+	}
+}
+
+// handlePlans is the fleet peer surface: GET serves the sealed plan
+// record verbatim from the disk layer, PUT verifies and stores one a
+// peer pushed. Both bypass admission entirely — like the weight-0
+// cache-probe fast path, they never compile, never search and never
+// consume a slot of the worker budget, so a fleet of replicas probing
+// each other cannot starve the compiles the budget exists for. GET
+// does no verification (the requesting replica verifies provenance
+// itself — the wire is not trusted); PUT applies the full provenance
+// check before anything touches disk, so a byzantine peer cannot
+// poison the store.
+func (s *server) handlePlans(w http.ResponseWriter, r *http.Request) {
+	k, ok := plancache.ParseKey(strings.TrimPrefix(r.URL.Path, "/plans/"))
+	if !ok {
+		s.httpError(w, http.StatusBadRequest, "want /plans/{64-hex-digit fingerprint}")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.planGets.Add(1)
+		raw, ok := s.c.PlanCache().RawBlob(k)
+		if !ok {
+			s.planGetMisses.Add(1)
+			s.httpError(w, http.StatusNotFound, "no record for %s", k)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+	case http.MethodPut:
+		s.planPuts.Add(1)
+		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, plancache.MaxRecordBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				s.planPutRejects.Add(1)
+				s.httpError(w, http.StatusRequestEntityTooLarge, "record exceeds %d bytes", int64(plancache.MaxRecordBytes))
+				return
+			}
+			s.httpError(w, http.StatusBadRequest, "read record: %v", err)
+			return
+		}
+		switch err := s.c.PlanCache().ImportBlob(k, raw); {
+		case err == nil:
+			w.WriteHeader(http.StatusNoContent)
+		case errors.Is(err, plancache.ErrImportRejected):
+			s.planPutRejects.Add(1)
+			s.httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		case errors.Is(err, plancache.ErrImportDisabled):
+			s.httpError(w, http.StatusConflict, "%v", err)
+		default:
+			s.httpError(w, http.StatusInternalServerError, "store record: %v", err)
+		}
+	default:
+		s.methodNotAllowed(w, "GET, PUT")
 	}
 }
 
@@ -636,6 +774,7 @@ type statsResponse struct {
 	// search across every 200 served
 	RouteMemory     int64 `json:"route_memory"`
 	RouteDisk       int64 `json:"route_disk"`
+	RouteRemote     int64 `json:"route_remote"`
 	RouteFlightWait int64 `json:"route_singleflight"`
 	RouteCold       int64 `json:"route_cold"`
 
@@ -647,6 +786,23 @@ type statsResponse struct {
 		Reconcile     percentileJSON `json:"reconcile"`
 		Wall          percentileJSON `json:"wall"`
 	} `json:"latency"`
+
+	// Remote is the fleet tier's health: client-side fetch/publish
+	// counters with per-peer breaker states (absent standalone), plus
+	// this replica's peer-facing /plans serve counters.
+	Remote *remoteStatsJSON `json:"remote,omitempty"`
+}
+
+// remoteStatsJSON is the /stats remote section: the plancache.Remote
+// snapshot (hits/misses/rejects, publish ledger, per-peer breaker
+// state) plus the serve-side counters of this replica acting as a
+// peer.
+type remoteStatsJSON struct {
+	plancache.RemoteStats
+	PlanGets       int64 `json:"plan_gets"`
+	PlanGetMisses  int64 `json:"plan_get_misses"`
+	PlanPuts       int64 `json:"plan_puts"`
+	PlanPutRejects int64 `json:"plan_put_rejects"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -670,6 +826,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DetachedRejected: s.detachLimit.Rejected(),
 		RouteMemory:      s.routeMemory.Load(),
 		RouteDisk:        s.routeDisk.Load(),
+		RouteRemote:      s.routeRemote.Load(),
 		RouteFlightWait:  s.routeFlight.Load(),
 		RouteCold:        s.routeCold.Load(),
 	}
@@ -678,6 +835,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Latency.ColdSearch = s.latSearch.percentiles()
 	resp.Latency.Reconcile = s.latReconcile.percentiles()
 	resp.Latency.Wall = s.latWall.percentiles()
+	if s.remote != nil {
+		resp.Remote = &remoteStatsJSON{
+			RemoteStats:    s.remote.Stats(),
+			PlanGets:       s.planGets.Load(),
+			PlanGetMisses:  s.planGetMisses.Load(),
+			PlanPuts:       s.planPuts.Load(),
+			PlanPutRejects: s.planPutRejects.Load(),
+		}
+	}
 	s.writeJSON(w, resp)
 }
 

@@ -43,7 +43,7 @@ func telemetryServer(t *testing.T, dir, salt string, detachCap int, timeout time
 // telemetry block must satisfy: the block is present, the stage sums
 // stay within the wall (each stage is a disjoint phase of it, and
 // flooring to µs preserves the inequality), the counts are sane, and a
-// single-op route — when stamped — is one of the four route names.
+// single-op route — when stamped — is one of the five route names.
 func checkTelemetry(t *testing.T, what string, tel *telemetryJSON) {
 	t.Helper()
 	if tel == nil {
@@ -56,17 +56,17 @@ func checkTelemetry(t *testing.T, what string, tel *telemetryJSON) {
 	if sum := tel.AdmissionWaitUs + tel.CacheProbeUs + tel.ColdSearchUs + tel.ReconcileUs; sum > tel.WallUs {
 		t.Fatalf("%s: stage sum %dµs exceeds wall %dµs", what, sum, tel.WallUs)
 	}
-	if tel.RouteMemory < 0 || tel.RouteDisk < 0 || tel.RouteFlightWait < 0 || tel.RouteCold < 0 {
+	if tel.RouteMemory < 0 || tel.RouteDisk < 0 || tel.RouteRemote < 0 || tel.RouteFlightWait < 0 || tel.RouteCold < 0 {
 		t.Fatalf("%s: negative route count: %+v", what, tel)
 	}
-	if tel.RouteMemory+tel.RouteDisk+tel.RouteFlightWait+tel.RouteCold == 0 {
+	if tel.RouteMemory+tel.RouteDisk+tel.RouteRemote+tel.RouteFlightWait+tel.RouteCold == 0 {
 		t.Fatalf("%s: no route recorded for a served request", what)
 	}
 	if tel.Route != "" {
 		switch tel.Route {
-		case "memory", "disk", "singleflight", "cold":
+		case "memory", "disk", "remote", "singleflight", "cold":
 		default:
-			t.Fatalf("%s: route %q is not one of memory/disk/singleflight/cold", what, tel.Route)
+			t.Fatalf("%s: route %q is not one of memory/disk/remote/singleflight/cold", what, tel.Route)
 		}
 	}
 }

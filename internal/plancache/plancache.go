@@ -19,11 +19,13 @@
 package plancache
 
 import (
+	"context"
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
@@ -35,6 +37,19 @@ type Key [sha256.Size]byte
 
 // String renders the key as lowercase hex (also the on-disk filename).
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the 64-hex-digit wire form of a Key (the
+// /plans/{fingerprint} path segment); ok is false for anything else.
+func ParseKey(s string) (Key, bool) {
+	var k Key
+	if len(s) != hex.EncodedLen(len(k)) {
+		return Key{}, false
+	}
+	if _, err := hex.Decode(k[:], []byte(s)); err != nil {
+		return Key{}, false
+	}
+	return k, true
+}
 
 // Fingerprint hashes the parts into a Key. Parts are length-prefixed,
 // so ("ab","c") and ("a","bc") produce different keys.
@@ -131,6 +146,19 @@ type Stats struct {
 	// unparseable envelope). Every reject is also a DiskMiss — the
 	// counter exists so an operator can tell "cold" from "poisoned".
 	DiskRejects int64 `json:"disk_rejects"`
+
+	// Remote* mirror the attached Remote tier's aggregates (zero when
+	// no remote is attached): fetches answered by a verified peer
+	// record, fetches no peer could answer, and peer responses (or
+	// pushed records) rejected by the provenance check.
+	RemoteHits    int64 `json:"remote_hits"`
+	RemoteMisses  int64 `json:"remote_misses"`
+	RemoteRejects int64 `json:"remote_rejects"`
+
+	// ImportRejects counts records a peer pushed (ImportBlob) that
+	// failed verification and were refused — counted even without a
+	// Remote attached, since any replica may receive pushes.
+	ImportRejects int64 `json:"import_rejects"`
 }
 
 // Cache is a sharded LRU with an optional disk layer. All methods are
@@ -140,11 +168,13 @@ type Cache struct {
 	dir     string
 	builder string
 	salt    []byte
+	remote  *Remote // optional peer tier; set once at construction time
 
 	hits, misses, evictions atomic.Int64
 	diskHits, diskMisses    atomic.Int64
 	diskWrites, diskErrors  atomic.Int64
 	diskRejects             atomic.Int64
+	importRejects           atomic.Int64
 	dirOnce                 sync.Once
 	dirErr                  error
 }
@@ -273,21 +303,37 @@ func (c *Cache) Len() int {
 
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
-	return Stats{
-		Entries:     c.Len(),
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Evictions:   c.evictions.Load(),
-		DiskHits:    c.diskHits.Load(),
-		DiskMisses:  c.diskMisses.Load(),
-		DiskWrites:  c.diskWrites.Load(),
-		DiskErrors:  c.diskErrors.Load(),
-		DiskRejects: c.diskRejects.Load(),
+	st := Stats{
+		Entries:       c.Len(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		DiskHits:      c.diskHits.Load(),
+		DiskMisses:    c.diskMisses.Load(),
+		DiskWrites:    c.diskWrites.Load(),
+		DiskErrors:    c.diskErrors.Load(),
+		DiskRejects:   c.diskRejects.Load(),
+		ImportRejects: c.importRejects.Load(),
 	}
+	if c.remote != nil {
+		rs := c.remote.Stats()
+		st.RemoteHits = rs.Hits
+		st.RemoteMisses = rs.Misses
+		st.RemoteRejects = rs.Rejects
+	}
+	return st
 }
 
 // DiskEnabled reports whether the cache has an on-disk layer.
 func (c *Cache) DiskEnabled() bool { return c.dir != "" }
+
+// SetRemote attaches the peer tier. Call it once, before the cache is
+// shared with concurrent readers — remote attachment is construction-
+// time wiring, not a runtime toggle.
+func (c *Cache) SetRemote(r *Remote) { c.remote = r }
+
+// Remote returns the attached peer tier, or nil.
+func (c *Cache) Remote() *Remote { return c.remote }
 
 // mac computes the record MAC: HMAC-SHA256 over the length-prefixed
 // (builder, key, payload) triple under the deployment salt. The
@@ -369,9 +415,12 @@ func (c *Cache) PeekBlob(k Key) bool {
 // atomically (temp file + rename), so concurrent writers and readers
 // never observe a partial entry. The payload must be valid JSON — the
 // envelope embeds it verbatim; anything else is an error counted in
-// DiskErrors. A disabled disk layer makes it a no-op.
+// DiskErrors. With a Remote attached the sealed record is additionally
+// published to the peers, fire-and-forget — a publish failure never
+// surfaces here. A disabled disk layer with no remote makes it a
+// no-op.
 func (c *Cache) PutBlob(k Key, b []byte) error {
-	if c.dir == "" {
+	if c.dir == "" && c.remote == nil {
 		return nil
 	}
 	env := blobEnvelope{
@@ -386,7 +435,19 @@ func (c *Cache) PutBlob(k Key, b []byte) error {
 		c.diskErrors.Add(1)
 		return err
 	}
-	b = sealed
+	if c.dir != "" {
+		if err := c.writeRaw(k, sealed); err != nil {
+			return err
+		}
+	}
+	c.remote.Publish(k, sealed)
+	return nil
+}
+
+// writeRaw writes an already-sealed record atomically (temp file +
+// rename) and counts it; callers have verified or just built the
+// envelope.
+func (c *Cache) writeRaw(k Key, sealed []byte) error {
 	c.dirOnce.Do(func() { c.dirErr = os.MkdirAll(c.dir, 0o755) })
 	if c.dirErr != nil {
 		c.diskErrors.Add(1)
@@ -397,7 +458,7 @@ func (c *Cache) PutBlob(k Key, b []byte) error {
 		c.diskErrors.Add(1)
 		return err
 	}
-	if _, err := tmp.Write(b); err != nil {
+	if _, err := tmp.Write(sealed); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		c.diskErrors.Add(1)
@@ -415,6 +476,72 @@ func (c *Cache) PutBlob(k Key, b []byte) error {
 	}
 	c.diskWrites.Add(1)
 	return nil
+}
+
+// GetRemote asks the peer tier for the record: fetch (timeouts,
+// retries, breakers — see Remote.Fetch), verify the sealed envelope
+// under this cache's builder and salt, and on success write the record
+// through to the local disk layer so the next process start is
+// disk-warm. Any failure — dead peer, tripped breaker, garbage record
+// — is (nil, false), never an error: the caller's cold search is the
+// universal fallback. A cache without a Remote always misses.
+func (c *Cache) GetRemote(ctx context.Context, k Key) ([]byte, bool) {
+	if c.remote == nil {
+		return nil, false
+	}
+	raw, payload, ok := c.remote.Fetch(ctx, k, func(raw []byte) ([]byte, bool) {
+		return c.open(k, raw)
+	})
+	if !ok {
+		return nil, false
+	}
+	if c.dir != "" {
+		_ = c.writeRaw(k, raw) // best effort; stats count failures
+	}
+	return payload, true
+}
+
+// RawBlob returns the sealed on-disk record verbatim, envelope and all
+// — the peer-serving read behind GET /plans/{fingerprint}. It does no
+// verification and moves no counters: the requesting replica verifies
+// provenance itself (it must anyway — the wire is not trusted), and an
+// unverified serve must not pollute this cache's hit accounting.
+func (c *Cache) RawBlob(k Key) ([]byte, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	raw, err := os.ReadFile(c.blobPath(k))
+	if err != nil {
+		return nil, false
+	}
+	return raw, true
+}
+
+// ErrImportRejected reports a pushed record that failed provenance
+// verification; ErrImportDisabled one pushed at a replica without a
+// disk layer to store it in.
+var (
+	ErrImportRejected = errors.New("plancache: imported record failed provenance verification")
+	ErrImportDisabled = errors.New("plancache: disk layer disabled, cannot import records")
+)
+
+// ImportBlob verifies an already-sealed record pushed by a peer
+// (PUT /plans/{fingerprint}) and stores it verbatim in the disk layer.
+// The record must pass the same v5 provenance check a disk read
+// applies — right envelope version, this deployment's builder and
+// salt, key matching the content address — or it is refused with
+// ErrImportRejected and counted: a push surface that trusted its
+// callers would let any peer poison the store PutBlob so carefully
+// seals.
+func (c *Cache) ImportBlob(k Key, raw []byte) error {
+	if c.dir == "" {
+		return ErrImportDisabled
+	}
+	if _, ok := c.open(k, raw); !ok {
+		c.importRejects.Add(1)
+		return ErrImportRejected
+	}
+	return c.writeRaw(k, raw)
 }
 
 func (c *Cache) blobPath(k Key) string {

@@ -265,6 +265,54 @@ func TestKeyMismatchIsRejectedMiss(t *testing.T) {
 	}
 }
 
+// TestTruncatedRecordIsRejectedMiss is the crash-consistency table:
+// however a record file ends up partially written — a crash mid-write
+// on a filesystem that reordered the rename, bit rot, a full disk —
+// loading it is a counted miss, never an error or a partial result,
+// and the fresh search's overwrite restores a loadable record.
+func TestTruncatedRecordIsRejectedMiss(t *testing.T) {
+	blob := []byte(`{"pareto":[{"fop":[16,1,32]}]}`)
+	cases := []struct {
+		name     string
+		truncate func([]byte) []byte
+	}{
+		{"empty file", func([]byte) []byte { return nil }},
+		{"first byte only", func(raw []byte) []byte { return raw[:1] }},
+		{"half the record", func(raw []byte) []byte { return raw[:len(raw)/2] }},
+		{"missing final byte", func(raw []byte) []byte { return raw[:len(raw)-1] }},
+		{"valid prefix, torn tail", func(raw []byte) []byte {
+			return append(append([]byte{}, raw[:len(raw)-8]...), 0, 0, 0, 0)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			k := Fingerprint("op")
+			c := New(Options{Dir: dir, Salt: []byte("secret")})
+			if err := c.PutBlob(k, blob); err != nil {
+				t.Fatal(err)
+			}
+			rewriteBlob(t, dir, k, tc.truncate)
+
+			r := New(Options{Dir: dir, Salt: []byte("secret")})
+			if _, ok := r.GetBlob(k); ok {
+				t.Fatal("truncated record must load as a miss")
+			}
+			st := r.Stats()
+			if st.DiskRejects != 1 || st.DiskMisses != 1 {
+				t.Fatalf("stats = %+v, want the truncation counted as 1 reject / 1 miss", st)
+			}
+			// overwrite heals the store
+			if err := r.PutBlob(k, blob); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := r.GetBlob(k); !ok || string(got) != string(blob) {
+				t.Fatalf("overwrite did not restore the record: %q %v", got, ok)
+			}
+		})
+	}
+}
+
 func TestPeekBlob(t *testing.T) {
 	dir := t.TempDir()
 	k := Fingerprint("op")

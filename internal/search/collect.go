@@ -7,7 +7,7 @@ import (
 	"time"
 )
 
-// Route is the cache route one operator search took — the four ways
+// Route is the cache route one operator search took — the five ways
 // SearchOpCtx can answer, in probe order. It is the per-request
 // diagnosis the serving layer surfaces: a request that looks slow from
 // the outside decomposes into "N memory hits, one cold search" from its
@@ -20,6 +20,9 @@ const (
 	// RouteDisk: answered from the on-disk record store (read, verified,
 	// decoded, rebuilt).
 	RouteDisk
+	// RouteRemote: answered by a fleet peer's plan store (fetched,
+	// provenance-verified, decoded, rebuilt).
+	RouteRemote
 	// RouteFlightWait: deduplicated onto a concurrent in-flight search
 	// for the same key and answered by its result.
 	RouteFlightWait
@@ -30,11 +33,11 @@ const (
 	RouteCount
 )
 
-// routeNames are the wire names of the four routes; the serving layer
+// routeNames are the wire names of the five routes; the serving layer
 // and its soak tests treat them as the closed enum.
-var routeNames = [RouteCount]string{"memory", "disk", "singleflight", "cold"}
+var routeNames = [RouteCount]string{"memory", "disk", "remote", "singleflight", "cold"}
 
-// String returns the route's wire name ("memory", "disk",
+// String returns the route's wire name ("memory", "disk", "remote",
 // "singleflight", "cold").
 func (r Route) String() string {
 	if int(r) < len(routeNames) {

@@ -358,8 +358,8 @@ func (s *Searcher) SearchOpCtx(ctx context.Context, e *expr.Expr) (*Result, erro
 	}
 }
 
-// lookupOrSearch tries the disk layer, then runs the enumeration, and
-// populates both cache layers on the way out.
+// lookupOrSearch tries the disk layer, then the fleet peers, then runs
+// the enumeration, and populates the cache layers on the way out.
 func (s *Searcher) lookupOrSearch(ctx context.Context, key plancache.Key, e *expr.Expr) (*Result, error) {
 	col := CollectorFrom(ctx)
 	var probeStart time.Time
@@ -377,6 +377,18 @@ func (s *Searcher) lookupOrSearch(ctx context.Context, key plancache.Key, e *exp
 		}
 		// corrupt or stale record: fall through to a fresh search,
 		// which overwrites it
+	}
+	if payload, ok := s.cache.GetRemote(ctx, key); ok {
+		if r, err := decodeResult(e, s.Cfg, payload); err == nil {
+			s.cache.Put(key, r)
+			if col != nil {
+				col.AddProbe(time.Since(probeStart))
+				col.AddRoute(RouteRemote)
+			}
+			return r, nil
+		}
+		// verified but undecodable (e.g. built under a different search
+		// config revision): treat as a miss and search fresh
 	}
 	if col != nil {
 		col.AddProbe(time.Since(probeStart))

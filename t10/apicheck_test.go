@@ -82,6 +82,8 @@ var (
 		SharedPool:           (*sema.Sem)(nil),
 		DetachLimit:          (*t10.DetachLimit)(nil),
 		CacheSalt:            nil,
+		Peers:                []string(nil),
+		Remote:               (*plancache.Remote)(nil),
 	}
 	_ = t10.CostEstimate{Ops: 1, CachedOps: 1, DiskOps: 0, ColdOps: 0, ColdFops: 0}
 	_ = t10.WeightFopUnit
@@ -94,7 +96,7 @@ var (
 		Level: t10.TelemetryBasic, Debug: t10.DebugOff,
 		AdmissionWait: 0, CacheProbe: 0, ColdSearch: 0, Reconcile: 0, Wall: 0,
 		AdmissionWeight: 0,
-		RouteMemory:     0, RouteDisk: 0, RouteFlightWait: 0, RouteCold: 0,
+		RouteMemory:     0, RouteDisk: 0, RouteRemote: 0, RouteFlightWait: 0, RouteCold: 0,
 		Filtered: 0, Priced: 0, Pruned: 0, Seeded: 0, CutSubtrees: 0, CutLeaves: 0,
 		DebugEvents: []search.DebugEvent(nil),
 	}

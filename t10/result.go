@@ -89,6 +89,7 @@ type Telemetry struct {
 	// count; assembly re-fetches are not counted).
 	RouteMemory     int
 	RouteDisk       int
+	RouteRemote     int
 	RouteFlightWait int
 	RouteCold       int
 
@@ -150,6 +151,7 @@ func (t *Telemetry) fill(col *search.Collector) {
 	tot := col.Snapshot()
 	t.RouteMemory = int(tot.Routes[search.RouteMemory])
 	t.RouteDisk = int(tot.Routes[search.RouteDisk])
+	t.RouteRemote = int(tot.Routes[search.RouteRemote])
 	t.RouteFlightWait = int(tot.Routes[search.RouteFlightWait])
 	t.RouteCold = int(tot.Routes[search.RouteCold])
 	if t.Level >= TelemetryFull {

@@ -126,6 +126,21 @@ type Options struct {
 	// other, and tampered records are rejected rather than trusted. See
 	// plancache.Options.Salt.
 	CacheSalt []byte
+
+	// Peers lists the base URLs of fleet peers (other t10serve
+	// replicas) whose /plans stores answer cache misses before a cold
+	// search runs. Shorthand for Remote with default robustness
+	// settings (timeouts, retries, circuit breakers); records fetched
+	// from peers still pass this deployment's provenance verification
+	// (CacheSalt) before use. Ignored under SharedCache, which carries
+	// its own remote tier, and when Remote is set.
+	Peers []string
+
+	// Remote, when non-nil, attaches a fully configured peer tier to
+	// the plan cache (overrides Peers; ignored under SharedCache). The
+	// compiler takes ownership only of its use, not its lifecycle —
+	// the caller still Closes it on shutdown.
+	Remote *plancache.Remote
 }
 
 // DefaultOptions returns the paper's defaults.
@@ -214,12 +229,19 @@ func New(spec *device.Spec, opts Options, copts ...CompilerOption) (*Compiler, e
 	s.Pool = pool
 	if opts.SharedCache != nil {
 		s.SetCache(opts.SharedCache)
-	} else if opts.CacheDir != "" || opts.CacheEntries != 0 {
-		s.SetCache(plancache.New(plancache.Options{
-			MaxEntries: opts.CacheEntries,
-			Dir:        opts.CacheDir,
-			Salt:       opts.CacheSalt,
-		}))
+	} else {
+		if opts.CacheDir != "" || opts.CacheEntries != 0 {
+			s.SetCache(plancache.New(plancache.Options{
+				MaxEntries: opts.CacheEntries,
+				Dir:        opts.CacheDir,
+				Salt:       opts.CacheSalt,
+			}))
+		}
+		if remote := opts.Remote; remote != nil {
+			s.Cache().SetRemote(remote)
+		} else if len(opts.Peers) > 0 {
+			s.Cache().SetRemote(plancache.NewRemote(plancache.RemoteOptions{Peers: opts.Peers}))
+		}
 	}
 	c := &Compiler{
 		Spec: spec, CM: cm, Opts: opts, searcher: s,
