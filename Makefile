@@ -56,6 +56,7 @@ cover:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzCompileRequest -fuzztime=$(FUZZTIME) -parallel=4 ./cmd/t10serve
 	$(GO) test -run='^$$' -fuzz=FuzzModelRoundTrip -fuzztime=$(FUZZTIME) -parallel=4 ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzFuseGraph -fuzztime=$(FUZZTIME) -parallel=4 ./internal/graph
 
 # Fault-injection suite under the race detector: the remote plan-cache
 # tier (breakers, retries, timeouts) and the fleet soak, driven through

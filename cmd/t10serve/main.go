@@ -85,6 +85,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/dtype"
 	"repro/internal/expr"
+	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/plancache"
 	"repro/internal/sema"
@@ -101,6 +102,7 @@ func main() {
 	detachLimit := flag.Int("detach-limit", 0, "max concurrently detached (cancelled but still compiling) requests; beyond it cancellation degrades to the plain kind (0 = the worker budget)")
 	cacheSalt := flag.String("cache-salt", "", "deployment secret HMAC'ing persisted plan records; records written under another salt (or tampered with) load as misses")
 	peers := flag.String("peers", "", "comma-separated base URLs of fleet peers whose /plans stores answer cache misses before a cold search (empty = no remote tier)")
+	fusion := flag.Bool("fusion", false, "run the operator-fusion pass on every model compile (graph.DefaultRules); fused and unfused plan caches never mix — the rule set is part of the cache fingerprint")
 	flag.Parse()
 
 	budget := *workers
@@ -124,13 +126,17 @@ func main() {
 		remote = plancache.NewRemote(plancache.RemoteOptions{Peers: urls})
 		opts.Remote = remote
 	}
-	c, err := t10.New(device.IPUMK2(), opts)
+	var copts []t10.CompilerOption
+	if *fusion {
+		copts = append(copts, t10.WithFusion(graph.DefaultRules()))
+	}
+	c, err := t10.New(device.IPUMK2(), opts, copts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "t10serve:", err)
 		os.Exit(1)
 	}
-	log.Printf("t10serve: listening on %s (device %s, budget %d workers, queue %d, compile timeout %v, detach-on-cancel %t (limit %d), cache dir %q, peers %v)",
-		*addr, c.Spec.Name, budget, *queue, *timeout, *detach, dlim, *cacheDir, remote.Peers())
+	log.Printf("t10serve: listening on %s (device %s, budget %d workers, queue %d, compile timeout %v, detach-on-cancel %t (limit %d), fusion %t, cache dir %q, peers %v)",
+		*addr, c.Spec.Name, budget, *queue, *timeout, *detach, dlim, *fusion, *cacheDir, remote.Peers())
 	hsrv := newServer(c, pool, *timeout)
 	hsrv.detach = *detach
 	hsrv.detachLimit = limiter
@@ -214,6 +220,11 @@ type server struct {
 	// cumulative cache-route counters across every 200 (one count per
 	// unique operator search a request performed)
 	routeMemory, routeDisk, routeRemote, routeFlight, routeCold atomic.Int64
+
+	// cumulative fusion counters across every 200: groups the fusion
+	// pass formed and source ops folded into them (always zero unless
+	// the server runs with -fusion)
+	fusedGroups, fusedOps atomic.Int64
 
 	// peer-facing /plans serve counters (this replica as a fleet peer)
 	planGets, planGetMisses, planPuts, planPutRejects atomic.Int64
@@ -401,6 +412,11 @@ type telemetryJSON struct {
 	RouteFlightWait int    `json:"route_singleflight"`
 	RouteCold       int    `json:"route_cold"`
 
+	// operator-fusion outcome of this request (server running -fusion):
+	// groups formed and source ops folded into them
+	FusedGroups int `json:"fused_groups,omitempty"`
+	FusedOps    int `json:"fused_ops,omitempty"`
+
 	// search-space accounting of the request's cold searches
 	// (TelemetryFull, which the server always requests)
 	Filtered    int `json:"filtered,omitempty"`
@@ -425,6 +441,8 @@ func (s *server) recordTelemetry(tel *t10.Telemetry) *telemetryJSON {
 	s.routeRemote.Add(int64(tel.RouteRemote))
 	s.routeFlight.Add(int64(tel.RouteFlightWait))
 	s.routeCold.Add(int64(tel.RouteCold))
+	s.fusedGroups.Add(int64(tel.FusedGroups))
+	s.fusedOps.Add(int64(tel.FusedOps))
 	return &telemetryJSON{
 		AdmissionWaitUs: tel.AdmissionWait.Microseconds(),
 		CacheProbeUs:    tel.CacheProbe.Microseconds(),
@@ -437,6 +455,8 @@ func (s *server) recordTelemetry(tel *t10.Telemetry) *telemetryJSON {
 		RouteRemote:     tel.RouteRemote,
 		RouteFlightWait: tel.RouteFlightWait,
 		RouteCold:       tel.RouteCold,
+		FusedGroups:     tel.FusedGroups,
+		FusedOps:        tel.FusedOps,
 		Filtered:        tel.Filtered,
 		Priced:          tel.Priced,
 		Pruned:          tel.Pruned,
@@ -559,15 +579,17 @@ func (s *server) compileModel(ctx context.Context, w http.ResponseWriter, req *c
 		return
 	}
 	exe := cr.Executable
+	// exe.Model, not the request model: under -fusion the executable's
+	// ops are the fused graph the plans and schedule actually index
 	resp := compileResponse{
 		Model:      m.Name,
 		Batch:      m.BatchSize,
-		Ops:        len(m.Ops),
+		Ops:        len(exe.Model.Ops),
 		CompileMs:  float64(time.Since(start).Microseconds()) / 1e3,
 		IdleMemPct: 100 * float64(exe.Schedule.IdleMemPerCore) / float64(s.c.Spec.CoreMemBytes),
 	}
-	for i := range m.Ops {
-		op := &m.Ops[i]
+	for i := range exe.Model.Ops {
+		op := &exe.Model.Ops[i]
 		asg := &exe.Schedule.Assignments[i]
 		repeat := op.Repeat
 		if repeat <= 0 {
@@ -778,6 +800,11 @@ type statsResponse struct {
 	RouteFlightWait int64 `json:"route_singleflight"`
 	RouteCold       int64 `json:"route_cold"`
 
+	// cumulative operator-fusion counters across every 200 (non-zero
+	// only when the server runs with -fusion)
+	FusedGroups int64 `json:"fused_groups"`
+	FusedOps    int64 `json:"fused_ops"`
+
 	// per-stage latency percentiles over the last latRingSize requests
 	Latency struct {
 		AdmissionWait percentileJSON `json:"admission_wait"`
@@ -829,6 +856,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RouteRemote:      s.routeRemote.Load(),
 		RouteFlightWait:  s.routeFlight.Load(),
 		RouteCold:        s.routeCold.Load(),
+		FusedGroups:      s.fusedGroups.Load(),
+		FusedOps:         s.fusedOps.Load(),
 	}
 	resp.Latency.AdmissionWait = s.latAdmission.percentiles()
 	resp.Latency.CacheProbe = s.latProbe.percentiles()

@@ -35,7 +35,18 @@ func (p *Plan) KernelTask() kernel.Task {
 // extents and step counts alone, so both the full Plan and the cheap
 // PlanSketch price the identical task.
 func taskFor(e *expr.Expr, ext []int, stepsPerAxis []int) kernel.Task {
-	t := kernel.Task{Kind: e.Kind, KH: 1, KW: 1, FLOPsPerElem: e.FLOPsPerPoint}
+	t := kernel.Task{
+		Kind: e.Kind, KH: 1, KW: 1, FLOPsPerElem: e.FLOPsPerPoint,
+		Epilogue: e.EpiloguePerPoint, MidFLOPs: e.MidFLOPsPerPoint,
+	}
+
+	// chain axes (the first stage of a fused contraction) are priced as
+	// the kernel's ChainK depth, not as part of the second-stage K
+	chain := make(map[int]bool, len(e.ChainAxes))
+	for _, a := range e.ChainAxes {
+		chain[a] = true
+	}
+	chainK := 1
 
 	first := e.Inputs[0]
 	m, n, k := 1, 1, 1
@@ -51,6 +62,10 @@ func taskFor(e *expr.Expr, ext []int, stepsPerAxis []int) kernel.Task {
 				n *= ext[a]
 			}
 		case expr.Reduce:
+			if chain[a] {
+				chainK *= ext[a]
+				continue
+			}
 			k *= ext[a]
 			// window axes (reduce axes inside compound dims) size the
 			// convolution kernel model
@@ -71,6 +86,9 @@ func taskFor(e *expr.Expr, ext []int, stepsPerAxis []int) kernel.Task {
 	}
 	t.M, t.N, t.K = m, n, k
 	t.Elems = elems
+	if len(e.ChainAxes) > 0 {
+		t.ChainK = chainK
+	}
 
 	// reductions multiply the per-output-point work of vector kernels
 	if e.Kind == expr.KindPool || e.Kind == expr.KindReduce {
@@ -89,6 +107,60 @@ func taskFor(e *expr.Expr, ext []int, stepsPerAxis []int) kernel.Task {
 	}
 	t.OutBytes = tileBytesFor(e, e.Output, ext)
 	return t
+}
+
+// IdealizedNs prices one operator under an idealized output-parallel
+// partitioning: spatial axes are split greedily across the cores —
+// output rows (axes of the first input) first, then columns — while
+// reduce and chain axes stay whole, and the per-core sub-task is
+// priced by the analytic kernel model plus one inter-operator boundary
+// (an exchange launch and a superstep sync). No search runs and no
+// plan is built, so the probe is O(axes) — cheap enough to call inside
+// the fusion pass. It deliberately exposes the chained contraction's
+// real weakness: splitting output columns does not shrink the
+// first-stage reduction, so a fused kernel that recomputes its
+// intermediate per column tile stops scaling exactly where the
+// unfused pair keeps going.
+func IdealizedNs(spec *device.Spec, e *expr.Expr, cores int) float64 {
+	ext := make([]int, len(e.Axes))
+	steps := make([]int, len(e.Axes))
+	for a, ax := range e.Axes {
+		ext[a] = ax.Size
+		steps[a] = 1
+	}
+	// Rows are split no finer than the matrix unit's row granularity —
+	// a 1-row tile still pays full-height MACs — and the leftover
+	// parallelism goes to columns, which is exactly the regime where a
+	// chained kernel's column-independent first stage stops scaling.
+	rows := 1
+	for a, ax := range e.Axes {
+		if ax.Kind == expr.Spatial && expr.ContainsAxis(e.Inputs[0], a) {
+			rows *= ax.Size
+		}
+	}
+	rowCap := mathutil.Max(1, rows/kernel.AMPRows)
+	left := mathutil.Max(cores, 1)
+	for pass := 0; pass < 2; pass++ {
+		for a, ax := range e.Axes {
+			if ax.Kind != expr.Spatial || left <= 1 {
+				continue
+			}
+			if isRow := expr.ContainsAxis(e.Inputs[0], a); isRow != (pass == 0) {
+				continue
+			}
+			split := mathutil.Min(left, ax.Size)
+			if pass == 0 {
+				split = mathutil.Min(split, rowCap)
+			}
+			ext[a] = mathutil.CeilDiv(ax.Size, split)
+			left /= split
+			if pass == 0 {
+				rowCap /= split
+			}
+		}
+	}
+	t := taskFor(e, ext, steps)
+	return kernel.Nanoseconds(spec, t) + spec.ExchangeStartupNs + spec.SyncNs
 }
 
 // tileBytesFor returns the bytes of tensor tr touched by one sub-task
@@ -138,6 +210,13 @@ func (p *Plan) EstimateWith(spec *device.Spec, pred costmodel.Predictor) Estimat
 	}
 	task := p.KernelTask()
 	perStep := pred.Predict(task)
+	if task.Epilogue != 0 || task.MidFLOPs != 0 {
+		// Fitted predictors were profiled on unfused tasks, so the fused
+		// epilogue/mid-stage vector work is added analytically — the same
+		// term the kernel (and hence the simulator) charges, keeping the
+		// estimate and the simulation in agreement on fused kernels.
+		perStep += kernel.FusedVectorCycles(spec, task) / spec.ClockGHz
+	}
 	est.ComputeNs = float64(p.TotalSteps) * perStep
 
 	syncs := float64(p.TotalSteps) // one per compute phase

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+)
+
+// compose is a test helper chaining exprs through the fusion algebra.
+func compose(t *testing.T, f func() (*expr.Expr, error)) *expr.Expr {
+	t.Helper()
+	e, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestIdealizedNsDetectsContractionRecompute is the analytic fact the
+// fusion profitability gate rests on: a chained GEMV contraction
+// (decode-step FFN, tiny row count, wide mid dimension) must price
+// clearly worse than its unfused pair — splitting output columns does
+// not shrink the fused kernel's first-stage reduction — while a plain
+// epilogue fold prices no worse than the ops it replaces.
+func TestIdealizedNsDetectsContractionRecompute(t *testing.T) {
+	spec := device.IPUMK2()
+
+	// decode-shaped FFN: 2×2048 → 8192 → 2048, gelu between
+	ffn1 := expr.MatMul("ffn1", 2, 2048, 8192, dtype.FP16)
+	gelu := expr.Elementwise("gelu", 2, 8192, 8, dtype.FP16)
+	ffn2 := expr.MatMul("ffn2", 2, 8192, 2048, dtype.FP16)
+	withEpi := compose(t, func() (*expr.Expr, error) { return expr.ComposeEpilogue(ffn1, gelu, 0) })
+	chained := compose(t, func() (*expr.Expr, error) { return expr.ComposeContraction(withEpi, ffn2, 0) })
+
+	sum := IdealizedNs(spec, withEpi, spec.Cores) + IdealizedNs(spec, ffn2, spec.Cores)
+	if fusedNs := IdealizedNs(spec, chained, spec.Cores); fusedNs <= sum {
+		t.Fatalf("chained GEMV contraction idealized at %.0fns <= unfused %.0fns; the recompute never surfaced", fusedNs, sum)
+	}
+
+	// the epilogue fold itself must stay free: folding gelu into ffn1
+	// saves a boundary and adds only the vector work gelu already cost
+	sep := IdealizedNs(spec, ffn1, spec.Cores) + IdealizedNs(spec, gelu, spec.Cores)
+	if epiNs := IdealizedNs(spec, withEpi, spec.Cores); epiNs > sep {
+		t.Fatalf("epilogue fold idealized at %.0fns > separate %.0fns; free fusions would be gated off", epiNs, sep)
+	}
+}

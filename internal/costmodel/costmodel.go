@@ -46,11 +46,23 @@ func features(kind expr.OpKind, t kernel.Task) []float64 {
 		padM := float64(mathutil.RoundUp(mathutil.Max(t.M, 1), 8))
 		padK := float64(mathutil.RoundUp(mathutil.Max(t.K, 1), 16))
 		n := float64(mathutil.Max(t.N, 1))
+		macs := padM * padK * n
+		rows := padM / 8 * n
+		if t.ChainK > 0 {
+			// Chained (fused) contraction: the MAC and row-block features
+			// count both AMP stages, mirroring kernel.matmulCycles. At
+			// ChainK = 0 the values are identical to the unchained ones,
+			// so existing fits are unchanged.
+			padC := float64(mathutil.RoundUp(t.ChainK, 16))
+			k := float64(mathutil.Max(t.K, 1))
+			macs = padM * (padC*k + padK*n)
+			rows = padM / 8 * (k + n)
+		}
 		return []float64{
 			1,
-			padM * padK * n,
+			macs,
 			float64(t.InBytes + t.OutBytes),
-			padM / 8 * n,
+			rows,
 		}
 	case expr.KindConv:
 		padM := float64(mathutil.RoundUp(mathutil.Max(t.M, 1), 8))

@@ -1,0 +1,314 @@
+package expr
+
+import "fmt"
+
+// This file implements expression composition for the operator-fusion
+// pass (internal/graph.Fuse). Two composition forms are supported:
+//
+//   - ComposeEpilogue folds an all-spatial elementwise consumer into its
+//     producer as a per-output-point epilogue (bias add, activation,
+//     softmax scaling). The fused expression keeps the producer's
+//     iteration space; the consumer's extra operands (a residual input)
+//     become extra inputs bound to the producer's output layout.
+//
+//   - ComposeContraction chains two contractions (attention's
+//     score·softmax → weighted-sum): the consumer reduces over an axis
+//     that was spatial in the producer, so the fused kernel runs two MAC
+//     stages back to back with the producer's epilogue applied to the
+//     intermediate. The intermediate tensor disappears from the fused
+//     expression's footprint — that is the fusion win the planner prices.
+//
+// Both return a descriptive error when the pair does not match the
+// pattern; graph.Fuse treats any error as "rule not applicable".
+//
+// Under reference (product-accumulate) arithmetic both compositions are
+// exact: an epilogue operand is independent of the reduce axes and
+// factors out of the sum, and a chained contraction is a re-association
+// of the same multilinear sum — compose_test.go proves both via EvalRef.
+
+// cloneExpr deep-copies e so compositions never alias the source model.
+func cloneExpr(e *Expr) *Expr {
+	c := *e
+	c.Axes = append([]Axis(nil), e.Axes...)
+	c.Inputs = make([]TensorRef, len(e.Inputs))
+	for i, in := range e.Inputs {
+		c.Inputs[i] = cloneRef(in)
+	}
+	c.Output = cloneRef(e.Output)
+	c.ChainAxes = append([]int(nil), e.ChainAxes...)
+	return &c
+}
+
+func cloneRef(t TensorRef) TensorRef {
+	dims := make([]Dim, len(t.Dims))
+	for i, d := range t.Dims {
+		dims[i] = Dim{Terms: append([]DimTerm(nil), d.Terms...)}
+	}
+	return TensorRef{Name: t.Name, Dims: dims, Elem: t.Elem}
+}
+
+// plain reports whether every dim of t is a single stride-1 axis.
+func plain(t TensorRef) bool {
+	for _, d := range t.Dims {
+		if len(d.Terms) != 1 || d.Terms[0].Stride != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func sameDims(a, b TensorRef) bool {
+	if len(a.Dims) != len(b.Dims) {
+		return false
+	}
+	for i := range a.Dims {
+		if len(a.Dims[i].Terms) != len(b.Dims[i].Terms) {
+			return false
+		}
+		for j := range a.Dims[i].Terms {
+			if a.Dims[i].Terms[j] != b.Dims[i].Terms[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// orOne counts an unfused expression as one source operator.
+func orOne(fused int) int {
+	if fused <= 0 {
+		return 1
+	}
+	return fused
+}
+
+func uniqueName(name string, taken func(string) bool) string {
+	n := name
+	for i := 2; taken(n); i++ {
+		n = fmt.Sprintf("%s_%d", name, i)
+	}
+	return n
+}
+
+// ComposeEpilogue folds the elementwise consumer c into producer p as a
+// per-output-point epilogue. c.Inputs[argIdx] is the operand fed by p's
+// output; it must have exactly as many elements (the graph may view the
+// same buffer under a different shape — softmax over flattened scores —
+// so correspondence is by row-major flat index, which is also how the
+// consumer's extra operands are rebound to the producer's output dims).
+func ComposeEpilogue(p, c *Expr, argIdx int) (*Expr, error) {
+	if c.Kind != KindElementwise {
+		return nil, fmt.Errorf("compose: consumer %s is %s, not elementwise", c.Name, c.Kind)
+	}
+	if argIdx < 0 || argIdx >= len(c.Inputs) {
+		return nil, fmt.Errorf("compose: arg index %d out of range for %s", argIdx, c.Name)
+	}
+	if len(c.ChainAxes) > 0 || c.MidFLOPsPerPoint != 0 || c.EpiloguePerPoint != 0 {
+		return nil, fmt.Errorf("compose: consumer %s already carries fusion state", c.Name)
+	}
+	for _, a := range c.Axes {
+		if a.Kind != Spatial {
+			return nil, fmt.Errorf("compose: consumer %s has non-spatial axis %s", c.Name, a.Name)
+		}
+	}
+	matched := c.Inputs[argIdx]
+	for _, t := range c.Tensors() {
+		if !plain(t) {
+			return nil, fmt.Errorf("compose: consumer %s tensor %s is not plain", c.Name, t.Name)
+		}
+		if !sameDims(t, matched) {
+			return nil, fmt.Errorf("compose: consumer %s tensor %s is not pointwise with %s",
+				c.Name, t.Name, matched.Name)
+		}
+	}
+	covered := make([]bool, len(c.Axes))
+	for _, d := range matched.Dims {
+		covered[d.Terms[0].Axis] = true
+	}
+	for i, a := range c.Axes {
+		if !covered[i] {
+			return nil, fmt.Errorf("compose: consumer %s axis %s not covered by %s",
+				c.Name, a.Name, matched.Name)
+		}
+	}
+	if !plain(p.Output) {
+		return nil, fmt.Errorf("compose: producer %s output is not plain", p.Name)
+	}
+	if c.TensorElems(matched) != p.TensorElems(p.Output) {
+		return nil, fmt.Errorf("compose: %s feeds %d elems, %s consumes %d",
+			p.Name, p.TensorElems(p.Output), c.Name, c.TensorElems(matched))
+	}
+
+	f := cloneExpr(p)
+	f.Name = p.Name + "+" + c.Name
+	f.Output = TensorRef{Name: c.Output.Name, Dims: f.Output.Dims, Elem: c.Output.Elem}
+	f.EpiloguePerPoint += c.FLOPsPerPoint
+	f.FusedOps = orOne(p.FusedOps) + 1
+	taken := func(n string) bool {
+		if n == f.Output.Name {
+			return true
+		}
+		for _, in := range f.Inputs {
+			if in.Name == n {
+				return true
+			}
+		}
+		return false
+	}
+	for i, in := range c.Inputs {
+		if i == argIdx {
+			continue
+		}
+		// The extra operand iterates in lockstep with the matched one, so
+		// rebinding it to the producer's output dims preserves the
+		// row-major pointwise pairing.
+		f.Inputs = append(f.Inputs, TensorRef{
+			Name: uniqueName(in.Name, taken),
+			Dims: cloneRef(f.Output).Dims,
+			Elem: in.Elem,
+		})
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("compose: fused %s invalid: %w", f.Name, err)
+	}
+	return f, nil
+}
+
+// ComposeContraction chains consumer contraction c onto producer
+// contraction p: c.Inputs[argIdx] is p's output, consumed dim-for-dim.
+// Producer axes that the consumer reduces over (attention's context
+// axis) become reduce axes of the fused expression; the producer's own
+// reduce axes become ChainAxes — its first-stage reduction depth. The
+// producer's epilogue (softmax) moves to the mid stage, applied to the
+// intermediate between the two MAC stages.
+func ComposeContraction(p, c *Expr, argIdx int) (*Expr, error) {
+	if p.Kind != KindMatMul || c.Kind != KindMatMul {
+		return nil, fmt.Errorf("compose: chain needs matmul pair, got %s→%s", p.Kind, c.Kind)
+	}
+	if len(p.ChainAxes) > 0 {
+		return nil, fmt.Errorf("compose: producer %s is already chained", p.Name)
+	}
+	if len(c.ChainAxes) > 0 || c.MidFLOPsPerPoint != 0 {
+		return nil, fmt.Errorf("compose: consumer %s is already chained", c.Name)
+	}
+	if p.FLOPsPerPoint != c.FLOPsPerPoint {
+		return nil, fmt.Errorf("compose: FLOPs-per-point mismatch %d vs %d",
+			p.FLOPsPerPoint, c.FLOPsPerPoint)
+	}
+	if argIdx < 0 || argIdx >= len(c.Inputs) {
+		return nil, fmt.Errorf("compose: arg index %d out of range for %s", argIdx, c.Name)
+	}
+	for _, a := range p.Axes {
+		if a.Kind == Gather {
+			return nil, fmt.Errorf("compose: producer %s has gather axes", p.Name)
+		}
+	}
+	for _, a := range c.Axes {
+		if a.Kind == Gather {
+			return nil, fmt.Errorf("compose: consumer %s has gather axes", c.Name)
+		}
+	}
+	hasReduce := false
+	for _, a := range p.Axes {
+		if a.Kind == Reduce {
+			hasReduce = true
+		}
+	}
+	if !hasReduce {
+		return nil, fmt.Errorf("compose: producer %s has no reduction to chain", p.Name)
+	}
+	matched := c.Inputs[argIdx]
+	if !plain(matched) || !plain(p.Output) {
+		return nil, fmt.Errorf("compose: chained operand must be plain on both sides")
+	}
+	if len(matched.Dims) != len(p.Output.Dims) {
+		return nil, fmt.Errorf("compose: %s output rank %d vs %s operand rank %d",
+			p.Name, len(p.Output.Dims), c.Name, len(matched.Dims))
+	}
+
+	f := cloneExpr(p)
+	f.Name = p.Name + "+" + c.Name
+
+	// Map each consumer axis onto a fused axis: matched-operand dims bind
+	// consumer axes to the corresponding producer output axes (the
+	// consumer's kind wins — a producer-spatial axis the consumer reduces
+	// over becomes Reduce); unbound consumer axes are appended.
+	axmap := make([]int, len(c.Axes))
+	for i := range axmap {
+		axmap[i] = -1
+	}
+	bound := make(map[int]bool, len(matched.Dims))
+	for pos, d := range matched.Dims {
+		ca := d.Terms[0].Axis
+		pa := p.Output.Dims[pos].Terms[0].Axis
+		if axmap[ca] != -1 || bound[pa] {
+			return nil, fmt.Errorf("compose: non-injective axis binding on %s", matched.Name)
+		}
+		if c.Axes[ca].Size != p.Axes[pa].Size {
+			return nil, fmt.Errorf("compose: axis size mismatch %s:%d vs %s:%d",
+				c.Axes[ca].Name, c.Axes[ca].Size, p.Axes[pa].Name, p.Axes[pa].Size)
+		}
+		axmap[ca] = pa
+		bound[pa] = true
+		if c.Axes[ca].Kind == Reduce {
+			f.Axes[pa].Kind = Reduce
+		}
+	}
+	axisTaken := func(n string) bool {
+		for _, a := range f.Axes {
+			if a.Name == n {
+				return true
+			}
+		}
+		return false
+	}
+	for ca, ax := range c.Axes {
+		if axmap[ca] != -1 {
+			continue
+		}
+		f.Axes = append(f.Axes, Axis{Name: uniqueName(ax.Name, axisTaken), Size: ax.Size, Kind: ax.Kind})
+		axmap[ca] = len(f.Axes) - 1
+	}
+	remap := func(t TensorRef) TensorRef {
+		r := cloneRef(t)
+		for i := range r.Dims {
+			for j := range r.Dims[i].Terms {
+				r.Dims[i].Terms[j].Axis = axmap[r.Dims[i].Terms[j].Axis]
+			}
+		}
+		return r
+	}
+	nameTaken := func(n string) bool {
+		for _, in := range f.Inputs {
+			if in.Name == n {
+				return true
+			}
+		}
+		return false
+	}
+	for i, in := range c.Inputs {
+		if i == argIdx {
+			continue
+		}
+		r := remap(in)
+		r.Name = uniqueName(r.Name, nameTaken)
+		f.Inputs = append(f.Inputs, r)
+	}
+	f.Output = remap(c.Output)
+
+	// The producer's reduce axes are the first-stage (chain) reduction;
+	// they were never in p.Output, so the binding above left them alone.
+	f.ChainAxes = nil
+	for i, a := range p.Axes {
+		if a.Kind == Reduce {
+			f.ChainAxes = append(f.ChainAxes, i)
+		}
+	}
+	f.MidFLOPsPerPoint = p.EpiloguePerPoint
+	f.EpiloguePerPoint = c.EpiloguePerPoint
+	f.FusedOps = orOne(p.FusedOps) + orOne(c.FusedOps)
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("compose: chained %s invalid: %w", f.Name, err)
+	}
+	return f, nil
+}

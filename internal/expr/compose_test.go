@@ -1,0 +1,322 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dtype"
+)
+
+func randBuf(rng *rand.Rand, n int64) []float32 {
+	b := make([]float32, n)
+	for i := range b {
+		b[i] = rng.Float32() - 0.5
+	}
+	return b
+}
+
+func maxAbsDiff(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// A fused epilogue must compute exactly what the producer-then-consumer
+// chain computes under reference arithmetic: the epilogue operand is
+// independent of the reduce axes, so it factors out of the sum.
+func TestComposeEpilogueBiasExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := MatMul("mm", 6, 5, 4, dtype.FP16)
+	c := EltwiseBinary("bias", 6, 4, dtype.FP16)
+
+	f, err := ComposeEpilogue(p, c, 0)
+	if err != nil {
+		t.Fatalf("ComposeEpilogue: %v", err)
+	}
+	if f.FusedOps != 2 || f.EpiloguePerPoint != 1 || len(f.ChainAxes) != 0 {
+		t.Fatalf("fusion metadata = ops:%d epi:%d chain:%v", f.FusedOps, f.EpiloguePerPoint, f.ChainAxes)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("fused expr invalid: %v", err)
+	}
+
+	a := randBuf(rng, p.TensorElems(p.Inputs[0]))
+	b := randBuf(rng, p.TensorElems(p.Inputs[1]))
+	y := randBuf(rng, c.TensorElems(c.Inputs[1]))
+
+	mm, err := p.EvalRef(map[string][]float32{"A": a, "B": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.EvalRef(map[string][]float32{"X": mm, "Y": y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.EvalRef(map[string][]float32{"A": a, "B": b, "Y": y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got, want); d > 1e-5 {
+		t.Fatalf("fused epilogue diverges from chain by %g", d)
+	}
+}
+
+// The graph may view the producer's output under a flattened shape (the
+// softmax over [b*h, ctx] scores); composition matches by flat element
+// count and row-major order.
+func TestComposeEpilogueFlatViewExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := BatchMatMul("scores", 3, 2, 5, 7, dtype.FP16)
+	c := Elementwise("softmax", 3*2, 7, 8, dtype.FP16)
+
+	f, err := ComposeEpilogue(p, c, 0)
+	if err != nil {
+		t.Fatalf("ComposeEpilogue: %v", err)
+	}
+	if f.EpiloguePerPoint != 8 {
+		t.Fatalf("EpiloguePerPoint = %d, want 8", f.EpiloguePerPoint)
+	}
+	if len(f.Output.Dims) != 3 {
+		t.Fatalf("fused output should keep producer rank 3, got %d", len(f.Output.Dims))
+	}
+
+	a := randBuf(rng, p.TensorElems(p.Inputs[0]))
+	b := randBuf(rng, p.TensorElems(p.Inputs[1]))
+	mm, err := p.EvalRef(map[string][]float32{"A": a, "B": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under reference arithmetic a single-input elementwise map is the
+	// identity, so the chain's value is the producer's output viewed flat.
+	got, err := f.EvalRef(map[string][]float32{"A": a, "B": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got, mm); d > 1e-6 {
+		t.Fatalf("flat-view fusion diverges by %g", d)
+	}
+}
+
+// buildAttention returns the unfused score → softmax → weighted-sum ops
+// and the fully fused chain, sharing shapes b,m,hd,ctx,hd2.
+func buildAttention(t *testing.T, b, m, hd, ctx, hd2 int) (scores, softmax, attnv, fused *Expr) {
+	t.Helper()
+	scores = BatchMatMul("scores", b, m, hd, ctx, dtype.FP16)
+	softmax = Elementwise("softmax", b*m, ctx, 8, dtype.FP16)
+	attnv = BatchMatMul("attnv", b, m, ctx, hd2, dtype.FP16)
+
+	sm, err := ComposeEpilogue(scores, softmax, 0)
+	if err != nil {
+		t.Fatalf("epilogue compose: %v", err)
+	}
+	fused, err = ComposeContraction(sm, attnv, 0)
+	if err != nil {
+		t.Fatalf("contraction compose: %v", err)
+	}
+	return scores, softmax, attnv, fused
+}
+
+// The attention chain Q·K → softmax → ·V must fuse into one expression
+// that computes the same function: a chained contraction is a
+// re-association of the same multilinear sum.
+func TestComposeContractionAttentionExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const b, m, hd, ctx, hd2 = 2, 3, 4, 5, 6
+	scores, _, attnv, fused := buildAttention(t, b, m, hd, ctx, hd2)
+
+	if fused.FusedOps != 3 {
+		t.Fatalf("FusedOps = %d, want 3", fused.FusedOps)
+	}
+	if len(fused.ChainAxes) != 1 || fused.Axes[fused.ChainAxes[0]].Name != "k" {
+		t.Fatalf("ChainAxes = %v", fused.ChainAxes)
+	}
+	if fused.MidFLOPsPerPoint != 8 {
+		t.Fatalf("MidFLOPsPerPoint = %d, want 8 (softmax moved to mid stage)", fused.MidFLOPsPerPoint)
+	}
+	if got, want := fused.ChainMidPoints(), int64(b*m*ctx); got != want {
+		t.Fatalf("ChainMidPoints = %d, want %d", got, want)
+	}
+	// The intermediate score tensor must not appear in the fused footprint:
+	// inputs are exactly Q, K, V.
+	if len(fused.Inputs) != 3 {
+		t.Fatalf("fused inputs = %d, want 3 (Q,K,V)", len(fused.Inputs))
+	}
+
+	q := randBuf(rng, scores.TensorElems(scores.Inputs[0]))
+	k := randBuf(rng, scores.TensorElems(scores.Inputs[1]))
+	v := randBuf(rng, attnv.TensorElems(attnv.Inputs[1]))
+
+	s, err := scores.EvalRef(map[string][]float32{"A": q, "B": k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := attnv.EvalRef(map[string][]float32{"A": s, "B": v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fused.EvalRef(map[string][]float32{
+		fused.Inputs[0].Name: q,
+		fused.Inputs[1].Name: k,
+		fused.Inputs[2].Name: v,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got, want); d > 1e-4 {
+		t.Fatalf("fused attention diverges from chain by %g", d)
+	}
+}
+
+// Unfused expressions must keep byte-identical signatures (cache keys may
+// not move for anyone who never turns fusion on), while fusion metadata
+// must separate fused keys from unfused ones.
+func TestSignatureFusionSeparation(t *testing.T) {
+	p := MatMul("mm", 8, 8, 8, dtype.FP16)
+	base := p.Signature()
+	if p2 := MatMul("other-name", 8, 8, 8, dtype.FP16); p2.Signature() != base {
+		t.Fatal("signature should not depend on the expression name")
+	}
+	f, err := ComposeEpilogue(p, Elementwise("relu", 8, 8, 1, dtype.FP16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Signature() == base {
+		t.Fatal("fused signature must differ from unfused")
+	}
+	if p.Signature() != base {
+		t.Fatal("composition mutated the producer")
+	}
+}
+
+func TestFusedFLOPsAccounting(t *testing.T) {
+	const b, m, hd, ctx, hd2 = 2, 3, 4, 5, 6
+	_, _, _, fused := buildAttention(t, b, m, hd, ctx, hd2)
+	want := int64(b*m*ctx*hd)*2 + // stage 1 MACs
+		int64(b*m*ctx)*8 + // softmax on the intermediate
+		int64(b*m*ctx*hd2)*2 // stage 2 MACs
+	if got := fused.FLOPs(); got != want {
+		t.Fatalf("fused FLOPs = %d, want %d", got, want)
+	}
+
+	p := MatMul("mm", 6, 5, 4, dtype.FP16)
+	f, err := ComposeEpilogue(p, EltwiseBinary("bias", 6, 4, dtype.FP16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.FLOPs(), p.FLOPs()+6*4; got != want {
+		t.Fatalf("epilogue FLOPs = %d, want %d", got, want)
+	}
+}
+
+func TestComposeRefusals(t *testing.T) {
+	mm := MatMul("mm", 8, 8, 8, dtype.FP16)
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"non-elementwise epilogue", func() error {
+			_, err := ComposeEpilogue(mm, ReduceSum("r", 8, 8, dtype.FP16), 0)
+			return err
+		}},
+		{"elem count mismatch", func() error {
+			_, err := ComposeEpilogue(mm, Elementwise("e", 8, 9, 1, dtype.FP16), 0)
+			return err
+		}},
+		{"arg index out of range", func() error {
+			_, err := ComposeEpilogue(mm, Elementwise("e", 8, 8, 1, dtype.FP16), 3)
+			return err
+		}},
+		{"chain onto non-matmul", func() error {
+			_, err := ComposeContraction(Pool2D("p", 1, 2, 3, 3, 2, 2, 1, dtype.FP16), mm, 0)
+			return err
+		}},
+		{"chain rank mismatch", func() error {
+			_, err := ComposeContraction(BatchMatMul("b", 2, 3, 4, 5, dtype.FP16), mm, 0)
+			return err
+		}},
+		{"chain size mismatch", func() error {
+			_, err := ComposeContraction(MatMul("a", 8, 8, 9, dtype.FP16), mm, 0)
+			return err
+		}},
+		{"double chain", func() error {
+			_, _, _, fused := buildAttention(t, 2, 3, 4, 5, 6)
+			next := BatchMatMul("next", 2, 3, 6, 4, dtype.FP16)
+			_, err := ComposeContraction(fused, next, 0)
+			return err
+		}},
+		{"gather producer", func() error {
+			_, err := ComposeContraction(GatherOp("g", 4, 16, 8, dtype.FP16), mm, 0)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.f(); err == nil {
+			t.Errorf("%s: compose unexpectedly succeeded", tc.name)
+		}
+	}
+}
+
+// A valid matmul→matmul chain without the attention shape still composes
+// exactly (the graph-level rule decides whether to use it; the mechanism
+// must be correct regardless).
+func TestComposeContractionPlainChainExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := MatMul("fc1", 4, 5, 6, dtype.FP16)
+	c := MatMul("fc2", 4, 6, 3, dtype.FP16)
+	f, err := ComposeContraction(p, c, 0)
+	if err != nil {
+		t.Fatalf("ComposeContraction: %v", err)
+	}
+	a := randBuf(rng, p.TensorElems(p.Inputs[0]))
+	w1 := randBuf(rng, p.TensorElems(p.Inputs[1]))
+	w2 := randBuf(rng, c.TensorElems(c.Inputs[1]))
+	mid, err := p.EvalRef(map[string][]float32{"A": a, "B": w1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.EvalRef(map[string][]float32{"A": mid, "B": w2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.EvalRef(map[string][]float32{
+		f.Inputs[0].Name: a,
+		f.Inputs[1].Name: w1,
+		f.Inputs[2].Name: w2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got, want); d > 1e-4 {
+		t.Fatalf("plain chain diverges by %g", d)
+	}
+}
+
+func TestValidateFusionFields(t *testing.T) {
+	e := MatMul("mm", 4, 4, 4, dtype.FP16)
+	e.ChainAxes = []int{0} // spatial axis
+	if err := e.Validate(); err == nil {
+		t.Fatal("spatial chain axis accepted")
+	}
+	e.ChainAxes = []int{9}
+	if err := e.Validate(); err == nil {
+		t.Fatal("out-of-range chain axis accepted")
+	}
+	e.ChainAxes = nil
+	e.MidFLOPsPerPoint = 4
+	if err := e.Validate(); err == nil {
+		t.Fatal("mid FLOPs without chain accepted")
+	}
+	e.MidFLOPsPerPoint = 0
+	e.EpiloguePerPoint = -1
+	if err := e.Validate(); err == nil {
+		t.Fatal("negative epilogue accepted")
+	}
+}

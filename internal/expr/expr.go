@@ -142,6 +142,32 @@ type Expr struct {
 	// per iteration-space point (2 for multiply-accumulate, 1 for
 	// additive reductions and most elementwise maps).
 	FLOPsPerPoint int
+
+	// The fields below are set only by the fusion pass (ComposeEpilogue /
+	// ComposeContraction); they are all zero for an unfused expression,
+	// which keeps unfused Signatures byte-identical to pre-fusion builds.
+
+	// EpiloguePerPoint is the vector-unit FLOPs applied to every output
+	// point after the contraction completes: the elementwise epilogue
+	// (bias add, activation) folded into this expression.
+	EpiloguePerPoint int
+
+	// MidFLOPsPerPoint is the vector-unit FLOPs applied to every
+	// intermediate point between the two contraction stages of a chained
+	// expression (the softmax between attention's two matmuls). Only
+	// meaningful when ChainAxes is non-empty.
+	MidFLOPsPerPoint int
+
+	// ChainAxes lists the axes (indices into Axes) that were the
+	// producer's reduction axes before a contraction-chain fusion: the
+	// fused kernel reduces them in its first stage, producing an
+	// intermediate that the second stage reduces over the remaining
+	// reduce axes. Empty for unfused and epilogue-only expressions.
+	ChainAxes []int
+
+	// FusedOps counts the source operators composed into this expression
+	// (0 for an unfused expression, ≥2 for a fused group).
+	FusedOps int
 }
 
 // DimSize returns the extent of dimension d given per-axis extents sizes
@@ -200,8 +226,71 @@ func (e *Expr) IterPoints() int64 {
 }
 
 // FLOPs returns the floating point operations needed by the operator.
+// For a chained (fused) contraction the iteration space covers both
+// stages, so the count is the sum of the two stages' true MAC work plus
+// the mid-stage and epilogue vector work — not IterPoints·FLOPsPerPoint,
+// which would bill the first stage once per second-stage point.
 func (e *Expr) FLOPs() int64 {
-	return e.IterPoints() * int64(e.FLOPsPerPoint)
+	n := e.IterPoints() * int64(e.FLOPsPerPoint)
+	if cp := e.chainProd(); cp > 1 {
+		mid := e.ChainMidPoints()
+		n = e.IterPoints() / cp * int64(e.FLOPsPerPoint) // second stage
+		n += mid * cp * int64(e.FLOPsPerPoint)           // first stage
+		n += mid * int64(e.MidFLOPsPerPoint)
+	}
+	n += e.TensorElems(e.Output) * int64(e.EpiloguePerPoint)
+	return n
+}
+
+// chainProd returns the product of the chain-axis sizes (1 when the
+// expression is not a chained contraction).
+func (e *Expr) chainProd() int64 {
+	p := int64(1)
+	for _, a := range e.ChainAxes {
+		p *= int64(e.Axes[a].Size)
+	}
+	return p
+}
+
+// ChainMidPoints returns the element count of the intermediate tensor of
+// a chained contraction (the attention score matrix): the product of the
+// non-chain axes that share an input tensor with a chain axis. Zero when
+// the expression is unchained.
+func (e *Expr) ChainMidPoints() int64 {
+	if len(e.ChainAxes) == 0 {
+		return 0
+	}
+	chain := make([]bool, len(e.Axes))
+	for _, a := range e.ChainAxes {
+		chain[a] = true
+	}
+	mid := make([]bool, len(e.Axes))
+	for _, in := range e.Inputs {
+		has := false
+		for _, a := range e.ChainAxes {
+			if ContainsAxis(in, a) {
+				has = true
+				break
+			}
+		}
+		if !has {
+			continue
+		}
+		for _, d := range in.Dims {
+			for _, tm := range d.Terms {
+				if !chain[tm.Axis] {
+					mid[tm.Axis] = true
+				}
+			}
+		}
+	}
+	p := int64(1)
+	for i, m := range mid {
+		if m {
+			p *= int64(e.Axes[i].Size)
+		}
+	}
+	return p
 }
 
 // Tensors returns all tensor refs, inputs first, output last.
@@ -298,6 +387,25 @@ func (e *Expr) Validate() error {
 	if e.FLOPsPerPoint < 0 {
 		return fmt.Errorf("expr %s: negative FLOPsPerPoint", e.Name)
 	}
+	if e.EpiloguePerPoint < 0 || e.MidFLOPsPerPoint < 0 || e.FusedOps < 0 {
+		return fmt.Errorf("expr %s: negative fusion counters", e.Name)
+	}
+	if e.MidFLOPsPerPoint > 0 && len(e.ChainAxes) == 0 {
+		return fmt.Errorf("expr %s: mid-stage FLOPs without chain axes", e.Name)
+	}
+	seenChain := make(map[int]bool, len(e.ChainAxes))
+	for _, a := range e.ChainAxes {
+		if a < 0 || a >= len(e.Axes) {
+			return fmt.Errorf("expr %s: chain axis %d out of range", e.Name, a)
+		}
+		if e.Axes[a].Kind != Reduce {
+			return fmt.Errorf("expr %s: chain axis %s is not a reduce axis", e.Name, e.Axes[a].Name)
+		}
+		if seenChain[a] {
+			return fmt.Errorf("expr %s: duplicate chain axis %s", e.Name, e.Axes[a].Name)
+		}
+		seenChain[a] = true
+	}
 	return nil
 }
 
@@ -320,6 +428,15 @@ func (e *Expr) Signature() string {
 				fmt.Fprintf(&b, "%d*%d+", tm.Stride, tm.Axis)
 			}
 			b.WriteByte(']')
+		}
+	}
+	// Fusion metadata changes what the kernel computes, so it is part of
+	// the identity — but it is appended only when present, keeping every
+	// unfused signature byte-identical to pre-fusion builds.
+	if e.FusedOps != 0 || e.EpiloguePerPoint != 0 || e.MidFLOPsPerPoint != 0 || len(e.ChainAxes) > 0 {
+		fmt.Fprintf(&b, "|fuse:%d:%d:%d:", e.FusedOps, e.EpiloguePerPoint, e.MidFLOPsPerPoint)
+		for _, a := range e.ChainAxes {
+			fmt.Fprintf(&b, "%d,", a)
 		}
 	}
 	return b.String()

@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// RuleSet selects which fusion rules the pass may apply. The zero value
+// disables fusion entirely (Fuse returns the source model unchanged).
+type RuleSet struct {
+	// Epilogue folds an all-spatial elementwise consumer (bias add,
+	// activation, softmax scaling) into its MatMul, Conv or Elementwise
+	// producer as a per-output-point epilogue.
+	Epilogue bool
+
+	// Contraction chains a MatMul consumer onto a MatMul producer that
+	// carries an epilogue — the attention score→softmax→weighted-sum
+	// pattern. Plain matmul→matmul chains (no normalization between) are
+	// deliberately not fused: nothing forces their intermediate to
+	// materialize, so the win is much smaller and the scratch cost real.
+	Contraction bool
+
+	// Gate, when set, is the profitability check consulted on every
+	// chain extension a rule accepts structurally: fused is the
+	// composed candidate, producer the chain built so far, consumer the
+	// op it would absorb. Returning false stops the chain — the
+	// extension is legal but not worth it (a chained contraction at
+	// small batch recomputes its intermediate per output tile, for
+	// example). nil fuses every structural match; the graph package
+	// supplies no cost model of its own.
+	Gate func(fused, producer, consumer *expr.Expr) bool
+}
+
+// DefaultRules enables every fusion rule.
+func DefaultRules() RuleSet { return RuleSet{Epilogue: true, Contraction: true} }
+
+// Enabled reports whether any rule is on.
+func (r RuleSet) Enabled() bool { return r.Epilogue || r.Contraction }
+
+// String names the enabled rules canonically; it joins the plan-record
+// fingerprint so plans fused under different rule sets can never collide.
+func (r RuleSet) String() string {
+	switch {
+	case r.Epilogue && r.Contraction:
+		return "epilogue+contraction"
+	case r.Epilogue:
+		return "epilogue"
+	case r.Contraction:
+		return "contraction"
+	}
+	return "off"
+}
+
+// FusedGroup records which source-model ops one fused-model op covers
+// (in chain order, producer first). A group of one is an unfused op.
+type FusedGroup struct {
+	Ops []int
+}
+
+// FusedGraph is the result of the fusion pass: a derived group-level
+// model whose ops are producer-consumer chains, each with one composed
+// expression and a single sub-tensor footprint. The whole downstream
+// pipeline (search, reconciliation, liveness, simulation) runs on Fused
+// unchanged — reconciliation naturally happens only at group boundaries.
+type FusedGraph struct {
+	Source *Model
+	Fused  *Model
+	Groups []FusedGroup // parallel to Fused.Ops
+	Rules  RuleSet
+}
+
+// GroupCount returns the number of multi-op fused groups.
+func (fg *FusedGraph) GroupCount() int {
+	n := 0
+	for _, g := range fg.Groups {
+		if len(g.Ops) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// FusedOpCount returns the number of source ops folded into multi-op
+// groups.
+func (fg *FusedGraph) FusedOpCount() int {
+	n := 0
+	for _, g := range fg.Groups {
+		if len(g.Ops) > 1 {
+			n += len(g.Ops)
+		}
+	}
+	return n
+}
+
+// fuseChain accumulates one producer-consumer group while Fuse extends it.
+type fuseChain struct {
+	ops     []int
+	expr    *expr.Expr
+	sources []int
+	weights []bool
+	repeat  int
+}
+
+// Fuse applies the rule set to the model and returns the fused graph.
+// Fusion is greedy over the topological order: a chain extends through
+// an op while that op has exactly one consumer, an equal repeat count,
+// and a rule whose composition succeeds (shape-checked — the model
+// wiring is looser than elementwise compatibility, so every candidate
+// edge is verified against the actual expressions). The source model is
+// never mutated; with no applicable rule the fused model is the source.
+func Fuse(m *Model, rules RuleSet) (*FusedGraph, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("fuse: %w", err)
+	}
+	fg := &FusedGraph{Source: m, Rules: rules}
+	if !rules.Enabled() {
+		fg.Fused = m
+		fg.Groups = make([]FusedGroup, len(m.Ops))
+		for i := range m.Ops {
+			fg.Groups[i] = FusedGroup{Ops: []int{i}}
+		}
+		return fg, nil
+	}
+
+	// consumer edges per producer (weight inputs can't have producers)
+	type edge struct{ op, arg int }
+	consumers := make([][]edge, len(m.Ops))
+	for j := range m.Ops {
+		for arg, src := range m.Ops[j].Sources {
+			if src != External {
+				consumers[src] = append(consumers[src], edge{j, arg})
+			}
+		}
+	}
+
+	assigned := make([]bool, len(m.Ops))
+	var chains []fuseChain
+	for i := range m.Ops {
+		if assigned[i] {
+			continue
+		}
+		assigned[i] = true
+		o := &m.Ops[i]
+		c := fuseChain{
+			ops:     []int{i},
+			expr:    o.Expr,
+			sources: append([]int(nil), o.Sources...),
+			repeat:  repeat(o),
+		}
+		c.weights = make([]bool, len(o.Sources))
+		for _, w := range o.WeightInputs {
+			c.weights[w] = true
+		}
+		for {
+			tail := c.ops[len(c.ops)-1]
+			if len(consumers[tail]) != 1 {
+				break
+			}
+			e := consumers[tail][0]
+			next := &m.Ops[e.op]
+			if assigned[e.op] || repeat(next) != c.repeat {
+				break
+			}
+			fused, ok := tryCompose(rules, c.expr, next.Expr, e.arg)
+			if !ok {
+				break
+			}
+			if rules.Gate != nil && !rules.Gate(fused, c.expr, next.Expr) {
+				break
+			}
+			assigned[e.op] = true
+			c.ops = append(c.ops, e.op)
+			c.expr = fused
+			for arg, src := range next.Sources {
+				if arg == e.arg {
+					continue
+				}
+				c.sources = append(c.sources, src)
+				c.weights = append(c.weights, next.IsWeight(arg))
+			}
+		}
+		chains = append(chains, c)
+	}
+
+	// Emit each chain at its last member's position: every outside source
+	// of a member precedes that member, and anything consuming the
+	// chain's output follows its last member — so ordering by last member
+	// preserves the topological order.
+	order := make([]int, 0, len(chains))
+	byLast := make(map[int]int, len(chains))
+	for ci, c := range chains {
+		byLast[c.ops[len(c.ops)-1]] = ci
+	}
+	for i := range m.Ops {
+		if ci, ok := byLast[i]; ok {
+			order = append(order, ci)
+		}
+	}
+
+	newIndex := make([]int, len(m.Ops))
+	for pos, ci := range order {
+		for _, op := range chains[ci].ops {
+			newIndex[op] = pos
+		}
+	}
+	fused := &Model{Name: m.Name, BatchSize: m.BatchSize, Ops: make([]Op, 0, len(order))}
+	for _, ci := range order {
+		c := chains[ci]
+		op := Op{
+			Name:    c.expr.Name,
+			Expr:    c.expr,
+			Sources: make([]int, len(c.sources)),
+			Repeat:  m.Ops[c.ops[0]].Repeat,
+		}
+		for arg, src := range c.sources {
+			if src == External {
+				op.Sources[arg] = External
+			} else {
+				op.Sources[arg] = newIndex[src]
+			}
+			if c.weights[arg] {
+				op.WeightInputs = append(op.WeightInputs, arg)
+			}
+		}
+		fused.Ops = append(fused.Ops, op)
+		fg.Groups = append(fg.Groups, FusedGroup{Ops: c.ops})
+	}
+	if err := fused.Validate(); err != nil {
+		return nil, fmt.Errorf("fuse: fused model invalid: %w", err)
+	}
+	fg.Fused = fused
+	return fg, nil
+}
+
+// tryCompose applies the first enabled rule matching the producer →
+// consumer edge; any composition error means "rule not applicable".
+func tryCompose(rules RuleSet, producer, consumer *expr.Expr, arg int) (*expr.Expr, bool) {
+	if rules.Epilogue && consumer.Kind == expr.KindElementwise {
+		switch producer.Kind {
+		case expr.KindMatMul, expr.KindConv, expr.KindElementwise:
+			if f, err := expr.ComposeEpilogue(producer, consumer, arg); err == nil {
+				return f, true
+			}
+		}
+	}
+	if rules.Contraction && consumer.Kind == expr.KindMatMul &&
+		producer.Kind == expr.KindMatMul && producer.EpiloguePerPoint > 0 {
+		if f, err := expr.ComposeContraction(producer, consumer, arg); err == nil {
+			return f, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,329 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dtype"
+	"repro/internal/expr"
+)
+
+// biasActModel is the canonical epilogue chain: MatMul → bias add →
+// activation, with the bias operand an external input.
+func biasActModel() *Model {
+	return &Model{Name: "bias-act", BatchSize: 1, Ops: []Op{
+		{
+			Name:         "mm",
+			Expr:         expr.MatMul("mm", 16, 32, 8, dtype.FP16),
+			WeightInputs: []int{1},
+			Sources:      []int{External, External},
+		},
+		{
+			Name:    "bias",
+			Expr:    expr.EltwiseBinary("bias", 16, 8, dtype.FP16),
+			Sources: []int{0, External},
+		},
+		{
+			Name:    "relu",
+			Expr:    expr.Elementwise("relu", 16, 8, 1, dtype.FP16),
+			Sources: []int{1},
+		},
+	}}
+}
+
+// attentionModel wires score → softmax (flat view) → weighted-sum.
+func attentionModel() *Model {
+	const b, m, hd, ctx, hd2 = 4, 1, 64, 128, 64
+	return &Model{Name: "attn", BatchSize: 1, Ops: []Op{
+		{
+			Name:    "scores",
+			Expr:    expr.BatchMatMul("scores", b, m, hd, ctx, dtype.FP16),
+			Sources: []int{External, External},
+		},
+		{
+			Name:    "softmax",
+			Expr:    expr.Elementwise("softmax", b*m, ctx, 8, dtype.FP16),
+			Sources: []int{0},
+		},
+		{
+			Name:    "attnv",
+			Expr:    expr.BatchMatMul("attnv", b, m, ctx, hd2, dtype.FP16),
+			Sources: []int{1, External},
+		},
+	}}
+}
+
+func TestFuseOffIsIdentity(t *testing.T) {
+	m := biasActModel()
+	fg, err := Fuse(m, RuleSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fg.Fused != m {
+		t.Fatal("disabled rules must return the source model")
+	}
+	if len(fg.Groups) != len(m.Ops) || fg.GroupCount() != 0 || fg.FusedOpCount() != 0 {
+		t.Fatalf("identity groups wrong: %+v", fg.Groups)
+	}
+}
+
+func TestFuseEpilogueChain(t *testing.T) {
+	m := biasActModel()
+	fg, err := Fuse(m, DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fg.Fused.Ops) != 1 {
+		t.Fatalf("fused ops = %d, want 1", len(fg.Fused.Ops))
+	}
+	if fg.GroupCount() != 1 || fg.FusedOpCount() != 3 {
+		t.Fatalf("groups=%d fusedOps=%d, want 1/3", fg.GroupCount(), fg.FusedOpCount())
+	}
+	op := fg.Fused.Ops[0]
+	e := op.Expr
+	if e.FusedOps != 3 || e.EpiloguePerPoint != 2 {
+		t.Fatalf("fused expr ops=%d epilogue=%d, want 3/2", e.FusedOps, e.EpiloguePerPoint)
+	}
+	// inputs: A, B(weight), bias operand — intermediate never appears
+	if len(e.Inputs) != 3 || len(op.Sources) != 3 {
+		t.Fatalf("fused inputs=%d sources=%v", len(e.Inputs), op.Sources)
+	}
+	if len(op.WeightInputs) != 1 || op.WeightInputs[0] != 1 {
+		t.Fatalf("weight inputs = %v, want [1]", op.WeightInputs)
+	}
+	if err := fg.Fused.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// source model untouched
+	if len(m.Ops) != 3 || m.Ops[0].Expr.EpiloguePerPoint != 0 {
+		t.Fatal("fusion mutated the source model")
+	}
+}
+
+func TestFuseAttentionChain(t *testing.T) {
+	fg, err := Fuse(attentionModel(), DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fg.Fused.Ops) != 1 {
+		t.Fatalf("fused ops = %d, want 1", len(fg.Fused.Ops))
+	}
+	e := fg.Fused.Ops[0].Expr
+	if len(e.ChainAxes) != 1 || e.MidFLOPsPerPoint != 8 || e.FusedOps != 3 {
+		t.Fatalf("chain=%v mid=%d ops=%d", e.ChainAxes, e.MidFLOPsPerPoint, e.FusedOps)
+	}
+	if len(e.Inputs) != 3 {
+		t.Fatalf("fused attention inputs = %d, want 3 (Q,K,V)", len(e.Inputs))
+	}
+}
+
+// Rule gating: with only the epilogue rule, softmax folds into scores
+// but the weighted-sum stays a separate op; with only the contraction
+// rule nothing fuses (the chain gate requires the producer to carry a
+// normalization epilogue, which needs the epilogue rule first).
+func TestFuseRuleGating(t *testing.T) {
+	fg, err := Fuse(attentionModel(), RuleSet{Epilogue: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fg.Fused.Ops) != 2 || fg.FusedOpCount() != 2 {
+		t.Fatalf("epilogue-only: ops=%d fused=%d, want 2/2", len(fg.Fused.Ops), fg.FusedOpCount())
+	}
+	fg, err = Fuse(attentionModel(), RuleSet{Contraction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fg.Fused.Ops) != 3 || fg.GroupCount() != 0 {
+		t.Fatalf("contraction-only: ops=%d groups=%d, want 3/0", len(fg.Fused.Ops), fg.GroupCount())
+	}
+}
+
+// TestFuseGateStopsChains proves the profitability hook: a Gate that
+// refuses every extension leaves the model unfused, one that refuses
+// only contractions stops the attention chain after the epilogue, and
+// the Gate sees the actual composed candidate and its two sides.
+func TestFuseGateStopsChains(t *testing.T) {
+	never := DefaultRules()
+	never.Gate = func(fused, producer, consumer *expr.Expr) bool { return false }
+	fg, err := Fuse(attentionModel(), never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fg.GroupCount() != 0 || len(fg.Fused.Ops) != 3 {
+		t.Fatalf("gate=false: groups=%d ops=%d, want 0/3", fg.GroupCount(), len(fg.Fused.Ops))
+	}
+
+	var seen []string
+	noChain := DefaultRules()
+	noChain.Gate = func(fused, producer, consumer *expr.Expr) bool {
+		seen = append(seen, fused.Name)
+		return len(fused.ChainAxes) == 0
+	}
+	fg, err = Fuse(attentionModel(), noChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fg.GroupCount() != 1 || fg.FusedOpCount() != 2 || len(fg.Fused.Ops) != 2 {
+		t.Fatalf("gate=epilogue-only: groups=%d fused=%d ops=%d, want 1/2/2",
+			fg.GroupCount(), fg.FusedOpCount(), len(fg.Fused.Ops))
+	}
+	// the gate judged the epilogue extension and then the contraction
+	if len(seen) != 2 || seen[0] != "scores+softmax" || seen[1] != "scores+softmax+attnv" {
+		t.Fatalf("gate saw %v, want both candidate compositions in chain order", seen)
+	}
+}
+
+// An op with two consumers must not fuse into either: its output is
+// needed materialized.
+func TestFuseStopsAtMultiConsumer(t *testing.T) {
+	m := biasActModel()
+	m.Ops = append(m.Ops, Op{
+		Name:    "sum",
+		Expr:    expr.ReduceSum("sum", 16, 8, dtype.FP16),
+		Sources: []int{0}, // second consumer of mm
+	})
+	fg, err := Fuse(m, DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mm can't fuse; bias+relu still chain with each other
+	if len(fg.Fused.Ops) != 3 {
+		t.Fatalf("fused ops = %d, want 3 (mm, bias+relu, sum)", len(fg.Fused.Ops))
+	}
+	if fg.FusedOpCount() != 2 {
+		t.Fatalf("fused op count = %d, want 2", fg.FusedOpCount())
+	}
+}
+
+func TestFuseRepeatMismatchRefused(t *testing.T) {
+	m := biasActModel()
+	m.Ops[0].Repeat = 4
+	fg, err := Fuse(m, DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mm repeats 4×, bias/relu once: only bias+relu fuse
+	if len(fg.Fused.Ops) != 2 {
+		t.Fatalf("fused ops = %d, want 2", len(fg.Fused.Ops))
+	}
+}
+
+// The model wiring is looser than shape compatibility (sources are just
+// op indices), so the rules must verify the actual expressions: a
+// consumer whose element count mismatches its producer never fuses.
+func TestFuseShapeMismatchRefused(t *testing.T) {
+	m := &Model{Name: "mismatch", BatchSize: 1, Ops: []Op{
+		{
+			Name:         "mm",
+			Expr:         expr.MatMul("mm", 16, 32, 8, dtype.FP16),
+			WeightInputs: []int{1},
+			Sources:      []int{External, External},
+		},
+		{
+			Name:    "act",
+			Expr:    expr.Elementwise("act", 16, 9, 1, dtype.FP16),
+			Sources: []int{0},
+		},
+	}}
+	fg, err := Fuse(m, DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fg.Fused.Ops) != 2 {
+		t.Fatalf("mismatched chain fused anyway: %d ops", len(fg.Fused.Ops))
+	}
+}
+
+// A residual connection: the add's second operand comes from an earlier
+// op outside the chain. The fused op must reference it and the emitted
+// order must stay topological.
+func TestFuseResidualTopoOrder(t *testing.T) {
+	m := &Model{Name: "residual", BatchSize: 1, Ops: []Op{
+		{
+			Name:         "mm0",
+			Expr:         expr.MatMul("mm0", 16, 16, 16, dtype.FP16),
+			WeightInputs: []int{1},
+			Sources:      []int{External, External},
+		},
+		{
+			Name:         "mm1",
+			Expr:         expr.MatMul("mm1", 16, 16, 16, dtype.FP16),
+			WeightInputs: []int{1},
+			Sources:      []int{0, External},
+		},
+		{
+			Name:    "add",
+			Expr:    expr.EltwiseBinary("add", 16, 16, dtype.FP16),
+			Sources: []int{1, 0}, // X = mm1, Y = mm0 (skip connection)
+		},
+	}}
+	fg, err := Fuse(m, DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mm0 has two consumers → singleton; mm1+add fuse.
+	if len(fg.Fused.Ops) != 2 {
+		t.Fatalf("fused ops = %d, want 2", len(fg.Fused.Ops))
+	}
+	if err := fg.Fused.Validate(); err != nil {
+		t.Fatalf("fused model breaks topo order: %v", err)
+	}
+	last := fg.Fused.Ops[1]
+	// sources: mm1's activation (op 0), mm1's weight, add's residual (op 0)
+	want := []int{0, External, 0}
+	for i, s := range last.Sources {
+		if s != want[i] {
+			t.Fatalf("fused sources = %v, want %v", last.Sources, want)
+		}
+	}
+}
+
+// FuzzFuseGraph drives the fusion pass with arbitrary model JSON: for
+// any model the reader accepts, Fuse must not panic, must return a
+// Validate-clean fused model, and must partition the source ops exactly
+// into its groups. Disabled rules must be the identity.
+func FuzzFuseGraph(f *testing.F) {
+	for _, m := range []*Model{biasActModel(), attentionModel()} {
+		if err := m.Validate(); err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"version":1,"name":"m","batch_size":1,"ops":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		fg, err := Fuse(m, DefaultRules())
+		if err != nil {
+			t.Fatalf("Fuse rejected a reader-accepted model: %v", err)
+		}
+		if err := fg.Fused.Validate(); err != nil {
+			t.Fatalf("fused model invalid: %v", err)
+		}
+		if len(fg.Groups) != len(fg.Fused.Ops) {
+			t.Fatalf("%d groups for %d fused ops", len(fg.Groups), len(fg.Fused.Ops))
+		}
+		seen := make(map[int]bool, len(m.Ops))
+		for _, g := range fg.Groups {
+			for _, op := range g.Ops {
+				if op < 0 || op >= len(m.Ops) || seen[op] {
+					t.Fatalf("groups do not partition the source ops: %+v", fg.Groups)
+				}
+				seen[op] = true
+			}
+		}
+		if len(seen) != len(m.Ops) {
+			t.Fatalf("groups cover %d of %d source ops", len(seen), len(m.Ops))
+		}
+		off, err := Fuse(m, RuleSet{})
+		if err != nil || off.Fused != m {
+			t.Fatalf("disabled rules are not the identity (err=%v)", err)
+		}
+	})
+}

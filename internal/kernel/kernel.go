@@ -42,6 +42,22 @@ type Task struct {
 
 	// InBytes and OutBytes are the local bytes streamed by the kernel.
 	InBytes, OutBytes int64
+
+	// ChainK is the first-stage reduction depth of a chained (fused)
+	// contraction: the kernel first reduces ChainK into an M×K
+	// intermediate held in core-local scratch, then reduces K into the
+	// M×N output. Zero for an unchained task.
+	ChainK int
+
+	// Epilogue is the vector-unit FLOPs applied per output point by a
+	// fused elementwise epilogue (0 when none): the epilogue runs inside
+	// the same vertex, so it pays ALU cycles but no second launch and no
+	// intermediate round-trip through memory.
+	Epilogue int
+
+	// MidFLOPs is the vector-unit FLOPs applied per intermediate (M×K)
+	// point between the stages of a chained contraction (softmax).
+	MidFLOPs int
 }
 
 // vertexOverheadCycles is the fixed cost of launching one vertex on one
@@ -61,19 +77,45 @@ const (
 	ampK = 16
 )
 
+// AMPRows is the matrix unit's row granule (ampM), exported for cost
+// probes that must not model row tiles finer than the hardware issues.
+const AMPRows = ampM
+
 // Cycles returns the execution time of the task on one core, in cycles.
 func Cycles(spec *device.Spec, t Task) float64 {
+	var c float64
 	switch t.Kind {
 	case expr.KindMatMul:
-		return matmulCycles(spec, t)
+		c = matmulCycles(spec, t)
 	case expr.KindConv:
-		return convCycles(spec, t)
+		c = convCycles(spec, t)
 	case expr.KindPool, expr.KindReduce, expr.KindElementwise:
-		return vectorCycles(spec, t)
+		c = vectorCycles(spec, t)
 	case expr.KindGather:
-		return gatherCycles(spec, t)
+		c = gatherCycles(spec, t)
+	default:
+		panic(fmt.Sprintf("kernel: unknown op kind %v", t.Kind))
 	}
-	panic(fmt.Sprintf("kernel: unknown op kind %v", t.Kind))
+	return c + FusedVectorCycles(spec, t)
+}
+
+// FusedVectorCycles is the vector-unit time of a fused epilogue and
+// mid-stage map. It is charged on top of the base kernel — the fusion
+// win is the launch overhead and intermediate traffic it does NOT pay,
+// not free ALU work. Exported so the planner's analytic estimate
+// (internal/core) can add the identical term on top of a fitted
+// prediction whose features never see the fusion fields.
+func FusedVectorCycles(spec *device.Spec, t Task) float64 {
+	if t.Epilogue == 0 && t.MidFLOPs == 0 {
+		return 0
+	}
+	outPoints := float64(t.Elems)
+	if t.Elems == 0 {
+		outPoints = float64(mathutil.Max(t.M, 1)) * float64(mathutil.Max(t.N, 1))
+	}
+	midPoints := float64(mathutil.Max(t.M, 1)) * float64(mathutil.Max(t.K, 1))
+	flops := outPoints*float64(t.Epilogue) + midPoints*float64(t.MidFLOPs)
+	return flops / float64(spec.VectorFP16PerCycle)
 }
 
 // Nanoseconds returns the execution time of the task on one core, in ns.
@@ -86,8 +128,18 @@ func matmulCycles(spec *device.Spec, t Task) float64 {
 	padK := mathutil.RoundUp(mathutil.Max(t.K, 1), ampK)
 	n := mathutil.Max(t.N, 1)
 	macCycles := float64(padM) * float64(padK) * float64(n) / float64(spec.AMPMACsPerCycle)
-	memCycles := float64(t.InBytes+t.OutBytes) / float64(spec.LoadStoreBytesPerCycle)
 	rows := float64(padM/ampM) * float64(n)
+	if t.ChainK > 0 {
+		// Chained contraction: stage 1 reduces ChainK into an M×K
+		// intermediate, stage 2 reduces K into the M×N output — two AMP
+		// passes in one vertex, intermediate kept in core-local scratch.
+		padC := mathutil.RoundUp(t.ChainK, ampK)
+		k := mathutil.Max(t.K, 1)
+		macCycles = float64(padM) * (float64(padC)*float64(k) + float64(padK)*float64(n)) /
+			float64(spec.AMPMACsPerCycle)
+		rows = float64(padM/ampM) * float64(k+n)
+	}
+	memCycles := float64(t.InBytes+t.OutBytes) / float64(spec.LoadStoreBytesPerCycle)
 	// Compute and operand streaming overlap; the slower stream dominates.
 	return vertexOverheadCycles + rows*rowOverheadCycles + maxf(macCycles, memCycles)
 }

@@ -226,13 +226,7 @@ func LLMDecode(cfg LLMConfig, batch int) *graph.Model {
 	b := newBuilder(cfg.Name, batch)
 	h, heads := cfg.Hidden, cfg.Heads
 	hd := h / heads
-	ctx := cfg.CtxLen
-	if batch > 8 && ctx > 4096/batch {
-		ctx = 4096 / batch
-		if ctx < 32 {
-			ctx = 32
-		}
-	}
+	ctx := decodeCtx(cfg, batch)
 	for range []int{0} { // one layer shape, repeated cfg.Layers times
 		b.matmul("qkv", batch, h, 3*h, cfg.Layers)
 		if cfg.Name == "RetNet-1.3B" {
@@ -245,17 +239,104 @@ func LLMDecode(cfg LLMConfig, batch int) *graph.Model {
 			b.add(expr.BatchMatMul("attnv", batch*heads, 1, ctx, hd, dtype.FP16), nil, cfg.Layers)
 		}
 		b.matmul("proj", batch, h, h, cfg.Layers)
-		if cfg.SwiGLU {
-			b.matmul("gate", batch, h, cfg.FFN, cfg.Layers)
-			b.matmul("up", batch, h, cfg.FFN, cfg.Layers)
-			b.add(expr.Elementwise("swish", batch, cfg.FFN, 4, dtype.FP16), nil, cfg.Layers)
-			b.matmul("down", batch, cfg.FFN, h, cfg.Layers)
-		} else {
-			b.matmul("ffn1", batch, h, cfg.FFN, cfg.Layers)
-			b.add(expr.Elementwise("gelu", batch, cfg.FFN, 8, dtype.FP16), nil, cfg.Layers)
-			b.matmul("ffn2", batch, cfg.FFN, h, cfg.Layers)
+		b.ffn(cfg, batch)
+	}
+	return b.m
+}
+
+// decodeCtx is the serving context length for cfg at the given batch:
+// CtxLen, shrunk past batch 8 (ctx = min(CtxLen, 4096/batch), floored
+// at 32) so layer weights plus the KV cache stay within one chip.
+func decodeCtx(cfg LLMConfig, batch int) int {
+	ctx := cfg.CtxLen
+	if batch > 8 && ctx > 4096/batch {
+		ctx = 4096 / batch
+		if ctx < 32 {
+			ctx = 32
 		}
 	}
+	return ctx
+}
+
+// ffn appends cfg's feed-forward block (SwiGLU or GELU MLP) over the
+// given activation rows.
+func (b *builder) ffn(cfg LLMConfig, rows int) {
+	h := cfg.Hidden
+	if cfg.SwiGLU {
+		b.matmul("gate", rows, h, cfg.FFN, cfg.Layers)
+		b.matmul("up", rows, h, cfg.FFN, cfg.Layers)
+		b.add(expr.Elementwise("swish", rows, cfg.FFN, 4, dtype.FP16), nil, cfg.Layers)
+		b.matmul("down", rows, cfg.FFN, h, cfg.Layers)
+	} else {
+		b.matmul("ffn1", rows, h, cfg.FFN, cfg.Layers)
+		b.add(expr.Elementwise("gelu", rows, cfg.FFN, 8, dtype.FP16), nil, cfg.Layers)
+		b.matmul("ffn2", rows, cfg.FFN, h, cfg.Layers)
+	}
+}
+
+// LLMPrefill builds the prompt-processing (prefill) graph for cfg: the
+// whole seqLen-token prompt flows through each layer at once, so every
+// projection is a tall GEMM over batch·seqLen rows, attention is the
+// full seqLen×seqLen score matrix, and the freshly projected K/V rows
+// stream into the layer's KV cache (the kv_append op — memory-bound
+// pointwise work over 2·hidden values per token). Prefill is the heavy
+// half of the serving asymmetry: per request it does seqLen× the
+// projection FLOPs of a decode step, which is why a serving mix prices
+// prefill compiles heavy and decode probes cheap.
+//
+// Under the operator-fusion pass (t10.WithFusion) the
+// scores→softmax→attnv chain folds into one composed contraction; the
+// qkv projection stays unfused because both the cache append and the
+// score computation consume it.
+func LLMPrefill(cfg LLMConfig, batch, seqLen int) *graph.Model {
+	b := newBuilder(cfg.Name+"-prefill", batch)
+	h, heads := cfg.Hidden, cfg.Heads
+	hd := h / heads
+	rows := batch * seqLen
+	qkv := b.matmul("qkv", rows, h, 3*h, cfg.Layers)
+	b.addWired(expr.Elementwise("kv_append", rows, 2*h, 1, dtype.FP16),
+		nil, cfg.Layers, []int{qkv})
+	if cfg.Name == "RetNet-1.3B" {
+		b.addWired(expr.Elementwise("retention", batch*heads, hd*hd, 4, dtype.FP16),
+			nil, cfg.Layers, []int{qkv})
+	} else {
+		b.addWired(expr.BatchMatMul("scores", batch*heads, seqLen, hd, seqLen, dtype.FP16),
+			nil, cfg.Layers, []int{qkv, graph.External})
+		b.add(expr.Elementwise("softmax", batch*heads*seqLen, seqLen, 8, dtype.FP16), nil, cfg.Layers)
+		b.add(expr.BatchMatMul("attnv", batch*heads, seqLen, seqLen, hd, dtype.FP16), nil, cfg.Layers)
+	}
+	b.matmul("proj", rows, h, h, cfg.Layers)
+	b.ffn(cfg, rows)
+	return b.m
+}
+
+// LLMDecodeStep builds one autoregressive decode step for cfg with the
+// KV cache made explicit: each sequence contributes a single token row,
+// so every projection is a GEMV-shaped matmul (M = batch), the new K/V
+// projections append to the cache (kv_append), and attention reads the
+// ctx cached tokens per head. The context shrinks with batch exactly as
+// in LLMDecode (see decodeCtx). LLMDecode remains the §6.7 benchmark
+// graph; this builder is its serving-scenario twin, separated so the
+// Table 2 / Fig 23 numbers never move underneath the serving example.
+func LLMDecodeStep(cfg LLMConfig, batch int) *graph.Model {
+	b := newBuilder(cfg.Name+"-decode", batch)
+	h, heads := cfg.Hidden, cfg.Heads
+	hd := h / heads
+	ctx := decodeCtx(cfg, batch)
+	qkv := b.matmul("qkv", batch, h, 3*h, cfg.Layers)
+	b.addWired(expr.Elementwise("kv_append", batch, 2*h, 1, dtype.FP16),
+		nil, cfg.Layers, []int{qkv})
+	if cfg.Name == "RetNet-1.3B" {
+		b.addWired(expr.Elementwise("retention", batch*heads, hd*hd, 4, dtype.FP16),
+			nil, cfg.Layers, []int{qkv})
+	} else {
+		b.addWired(expr.BatchMatMul("scores", batch*heads, 1, hd, ctx, dtype.FP16),
+			nil, cfg.Layers, []int{qkv, graph.External})
+		b.add(expr.Elementwise("softmax", batch*heads, ctx, 8, dtype.FP16), nil, cfg.Layers)
+		b.add(expr.BatchMatMul("attnv", batch*heads, 1, ctx, hd, dtype.FP16), nil, cfg.Layers)
+	}
+	b.matmul("proj", batch, h, h, cfg.Layers)
+	b.ffn(cfg, batch)
 	return b.m
 }
 
@@ -272,8 +353,13 @@ func Build(name string, batch int) (*graph.Model, error) {
 		return NeRF(batch), nil
 	}
 	for _, cfg := range LLMConfigs() {
-		if cfg.Name == name {
+		switch name {
+		case cfg.Name:
 			return LLMDecode(cfg, batch), nil
+		case cfg.Name + "-prefill":
+			return LLMPrefill(cfg, batch, cfg.CtxLen), nil
+		case cfg.Name + "-decode":
+			return LLMDecodeStep(cfg, batch), nil
 		}
 	}
 	return nil, fmt.Errorf("models: unknown model %q", name)

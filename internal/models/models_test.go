@@ -2,6 +2,8 @@ package models
 
 import (
 	"testing"
+
+	"repro/internal/graph"
 )
 
 func TestAllModelsValidate(t *testing.T) {
@@ -161,4 +163,58 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestServingBuilders pins the prefill/decode serving twins: both
+// validate, both are reachable through Build, the KV-cache append is
+// present, decode projections are GEMV-shaped (M = batch), and prefill
+// carries the seqLen× projection-FLOP asymmetry over a decode step.
+func TestServingBuilders(t *testing.T) {
+	cfg := LLMConfigs()[0] // OPT-1.3B
+	const batch, seq = 4, 128
+
+	pre := LLMPrefill(cfg, batch, seq)
+	dec := LLMDecodeStep(cfg, batch)
+	for _, m := range []*graph.Model{pre, dec} {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+
+	find := func(m *graph.Model, name string) int {
+		for i := range m.Ops {
+			if m.Ops[i].Name == name {
+				return i
+			}
+		}
+		t.Fatalf("%s has no op %q", m.Name, name)
+		return -1
+	}
+	// KV-cache append consumes the qkv projection in both graphs
+	for _, m := range []*graph.Model{pre, dec} {
+		ka := find(m, "kv_append")
+		if src := m.Ops[ka].Sources[0]; src != find(m, "qkv") {
+			t.Errorf("%s kv_append source = %d, want the qkv op", m.Name, src)
+		}
+	}
+	// decode is GEMV-shaped: the qkv projection iterates batch rows
+	if got := dec.Ops[find(dec, "qkv")].Expr.Axes[0].Size; got != batch {
+		t.Errorf("decode qkv M = %d, want %d", got, batch)
+	}
+	// prefill does seq× the qkv work of a decode step
+	pf := pre.Ops[find(pre, "qkv")].Expr.FLOPs()
+	df := dec.Ops[find(dec, "qkv")].Expr.FLOPs()
+	if pf != df*seq {
+		t.Errorf("prefill/decode qkv FLOPs = %d/%d, want ratio %d", pf, df, seq)
+	}
+
+	for _, name := range []string{cfg.Name + "-prefill", cfg.Name + "-decode"} {
+		m, err := Build(name, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
 }

@@ -19,6 +19,22 @@ func benchColdOp() *expr.Expr {
 	return expr.MatMul("mm-bench", 16*128, 1024, 4096, dtype.FP16)
 }
 
+// benchFusedOp is benchColdOp with a bias+activation epilogue folded in
+// — the composed expression the operator-fusion pass hands the search.
+// One cold search prices the whole chain (the epilogue ALU work rides
+// the matmul cost model), replacing three separate searches.
+func benchFusedOp() *expr.Expr {
+	mm := benchColdOp()
+	f, err := expr.ComposeEpilogue(mm, expr.EltwiseBinary("bias", 16*128, 4096, dtype.FP16), 0)
+	if err == nil {
+		f, err = expr.ComposeEpilogue(f, expr.Elementwise("act", 16*128, 4096, 8, dtype.FP16), 0)
+	}
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
 // BenchmarkColdSearch measures one full cold enumeration per iteration
 // (searchOp bypasses every cache layer) in four configurations:
 //
@@ -29,6 +45,9 @@ func benchColdOp() *expr.Expr {
 //	telemetry — the default engine under an attached Collector (no debug
 //	            trace), i.e. the production-safe telemetry level: the
 //	            acceptance gate holds it within 5% of subtree
+//	fused     — the default engine searching the composed
+//	            matmul+bias+activation expression the fusion pass emits:
+//	            one search where the unfused pipeline runs three
 //
 // All variants select bit-identical Pareto plans (TestSearchEquivalence).
 // With BENCH_SEARCH_JSON set, each variant records its numbers into that
@@ -40,18 +59,24 @@ func BenchmarkColdSearch(b *testing.B) {
 		noPrune   bool
 		noSubtree bool
 		telemetry bool
+		fused     bool
 	}{
-		{"seq", 1, true, false, false},
-		{"par", 0, true, false, false},
-		{"pruned", 0, false, true, false},
-		{"subtree", 0, false, false, false},
-		{"telemetry", 0, false, false, true},
+		{"seq", 1, true, false, false, false},
+		{"par", 0, true, false, false, false},
+		{"pruned", 0, false, true, false, false},
+		{"subtree", 0, false, false, false, false},
+		{"telemetry", 0, false, false, true, false},
+		{"fused", 0, false, false, false, true},
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
 			s := New(device.IPUMK2(), testCM(), DefaultConstraints(), core.DefaultConfig())
 			s.Workers, s.NoPrune, s.NoSubtree = v.workers, v.noPrune, v.noSubtree
 			e := benchColdOp()
+			if v.fused {
+				e = benchFusedOp()
+				s.FusionRules = "epilogue+contraction"
+			}
 			ctx := context.Background()
 			if v.telemetry {
 				ctx = WithCollector(ctx, NewCollector(false))

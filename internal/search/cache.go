@@ -36,7 +36,13 @@ import (
 // plancache.PutBlob); a v4 raw record fails the envelope parse and
 // loads as a miss. Bump plancache.DefaultBuilder together with this
 // constant.
-const resultFormat = 5
+//
+// v6: the operator-fusion pass landed. Fused expressions carry
+// fusion metadata in their signature and records carry FusedOps, the
+// fingerprint covers the active fusion rule set, and the kernel/cost
+// model price chained contractions — so a v5 record (fused or not)
+// describes plans priced by a different model.
+const resultFormat = 6
 
 // fingerprint derives the content-addressed cache key for one operator
 // search. It covers everything the search outcome depends on: the
@@ -68,6 +74,10 @@ func (s *Searcher) fingerprint(e *expr.Expr) plancache.Key {
 		fmt.Sprintf("noprune=%t", s.NoPrune),
 		fmt.Sprintf("nosubtree=%t", s.NoSubtree),
 		"custom="+custom,
+		// fused and unfused plans must never collide, even for ops the
+		// rule set happened to leave unfused — the rule set is part of
+		// the compile regime
+		"fusion="+s.FusionRules,
 		e.Signature(),
 	)
 }
@@ -96,6 +106,7 @@ type resultRecord struct {
 	CutTrees  int               `json:"cut_subtrees,omitempty"`
 	CutLeaves int               `json:"cut_leaves,omitempty"`
 	TruncFt   int               `json:"truncated_ft,omitempty"`
+	FusedOps  int               `json:"fused_ops,omitempty"`
 	ElapsedNs int64             `json:"elapsed_ns"` // original search cost
 }
 
@@ -120,6 +131,7 @@ func encodeResult(r *Result) ([]byte, error) {
 		CutTrees:  r.Spaces.CutSubtrees,
 		CutLeaves: r.Spaces.CutLeaves,
 		TruncFt:   r.Spaces.TruncatedFtCombos,
+		FusedOps:  r.Spaces.FusedOps,
 		ElapsedNs: r.Elapsed.Nanoseconds(),
 	}
 	if r.Spaces.Complete != nil {
@@ -179,6 +191,7 @@ func decodeResult(e *expr.Expr, cfg core.Config, blob []byte) (*Result, error) {
 	r.Spaces.CutSubtrees = rec.CutTrees
 	r.Spaces.CutLeaves = rec.CutLeaves
 	r.Spaces.TruncatedFtCombos = rec.TruncFt
+	r.Spaces.FusedOps = rec.FusedOps
 	if rec.Complete != "" {
 		n, ok := new(big.Int).SetString(rec.Complete, 10)
 		if !ok {

@@ -227,6 +227,62 @@ func TestStaleVersionRecordIsMissNotError(t *testing.T) {
 	}
 }
 
+// TestStaleV5BuilderRecordOverwrittenUnderV6 is the v5→v6 upgrade
+// regression for the fusion release: a record sealed by the previous
+// pipeline's builder ("t10-builder/5") — perfectly valid JSON under a
+// valid MAC for that era — must be a counted reject+miss for a v6
+// reader, trigger a fresh search, and be overwritten in place with a
+// v6-sealed record that the old builder in turn refuses to load.
+func TestStaleV5BuilderRecordOverwrittenUnderV6(t *testing.T) {
+	dir := t.TempDir()
+	e := expr.MatMul("mm", 256, 512, 512, dtype.FP16)
+	s := newSearcher()
+	s.SetCache(plancache.New(plancache.Options{Dir: dir}))
+	key := s.fingerprint(e)
+
+	// seed the record exactly as a pre-fusion deployment would have: one
+	// decodable-looking plan, sealed by the v5 builder's provenance
+	v5 := plancache.New(plancache.Options{Dir: dir, Builder: "t10-builder/5"})
+	stale := `{"format":5,"op":"mm","pareto":[{"fop":[1,1,1],"fts":[null,null,null],` +
+		`"est":{"TotalNs":1,"MemPerCore":1}}],"complete":"1","filtered":1,"optimized":1}`
+	if err := v5.PutBlob(key, []byte(stale)); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := s.SearchOp(e)
+	if err != nil {
+		t.Fatalf("v5-sealed record must be a miss, got error: %v", err)
+	}
+	if len(r.Pareto) < 2 || r.Spaces.Filtered <= 1 {
+		t.Fatalf("got the v5 record's content back (pareto %d, filtered %d), want a fresh search",
+			len(r.Pareto), r.Spaces.Filtered)
+	}
+	st := s.Cache().Stats()
+	if st.DiskRejects < 1 || st.DiskMisses < 1 {
+		t.Fatalf("stats = %+v, want the stale builder counted as reject+miss", st)
+	}
+	if st.DiskWrites != 1 {
+		t.Fatalf("stats = %+v, want exactly one overwrite", st)
+	}
+
+	// overwritten in place: one file, loadable by the current builder,
+	// rejected by the v5 builder that sealed the original
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("want 1 cache file, got %v", files)
+	}
+	payload, ok := plancache.New(plancache.Options{Dir: dir}).GetBlob(key)
+	if !ok {
+		t.Fatal("overwritten record does not pass the v6 provenance check")
+	}
+	if _, err := decodeResult(e, s.Cfg, payload); err != nil {
+		t.Fatalf("overwritten record does not decode: %v", err)
+	}
+	if _, ok := plancache.New(plancache.Options{Dir: dir, Builder: "t10-builder/5"}).GetBlob(key); ok {
+		t.Fatal("the v5 builder loaded a v6-sealed record; builder provenance is not separating eras")
+	}
+}
+
 func TestKeepAllSurvivesDiskRoundtrip(t *testing.T) {
 	dir := t.TempDir()
 	e := expr.MatMul("mm", 256, 512, 512, dtype.FP16)

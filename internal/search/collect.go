@@ -84,6 +84,10 @@ type Collector struct {
 	filtered, priced, pruned, seeded atomic.Int64
 	cutSubtrees, cutLeaves           atomic.Int64
 
+	// fusion counters reported by the compile layer after its fusion
+	// pass (groups formed, source ops folded into them)
+	fusedGroups, fusedOps atomic.Int64
+
 	mu     sync.Mutex
 	events []DebugEvent
 }
@@ -130,6 +134,18 @@ func (c *Collector) AddSpaces(sp *Spaces) {
 	c.cutLeaves.Add(int64(sp.CutLeaves))
 }
 
+// AddFusion records the outcome of one graph-fusion pass: groups is the
+// number of multi-op fused groups, ops the source operators folded into
+// them. Reported by the compile layer (the search itself is
+// fusion-agnostic).
+func (c *Collector) AddFusion(groups, ops int) {
+	if c == nil {
+		return
+	}
+	c.fusedGroups.Add(int64(groups))
+	c.fusedOps.Add(int64(ops))
+}
+
 // DebugEnabled reports whether the collector records DebugEvents; the
 // search gates every event construction on it so the trace costs
 // nothing when off.
@@ -164,6 +180,7 @@ type Totals struct {
 
 	Filtered, Priced, Pruned, Seeded int64
 	CutSubtrees, CutLeaves           int64
+	FusedGroups, FusedOps            int64
 }
 
 // Snapshot reads the aggregates; the zero Totals for a nil collector.
@@ -183,6 +200,8 @@ func (c *Collector) Snapshot() Totals {
 	t.Seeded = c.seeded.Load()
 	t.CutSubtrees = c.cutSubtrees.Load()
 	t.CutLeaves = c.cutLeaves.Load()
+	t.FusedGroups = c.fusedGroups.Load()
+	t.FusedOps = c.fusedOps.Load()
 	return t
 }
 

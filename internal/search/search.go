@@ -141,6 +141,12 @@ type Spaces struct {
 	// sequential pre-pass over the shared temporal-factor table, before
 	// any pruning or scheduling can hide a capped enumeration.
 	TruncatedFtCombos int
+
+	// FusedOps counts the source operators composed into the searched
+	// expression by the fusion pass (0 for an unfused op, ≥2 for a fused
+	// group) — carried so a cached record stays honest about what its
+	// plans cover.
+	FusedOps int
 }
 
 // Candidate is one priced plan.
@@ -209,6 +215,14 @@ type Searcher struct {
 	// partial-assignment subtree cuts — the engine shape of the
 	// `pruned` benchmark variant, kept for A/B comparison.
 	NoSubtree bool
+
+	// FusionRules names the graph-fusion rule set active above this
+	// searcher (graph.RuleSet.String(); empty or "off" when fusion is
+	// disabled). The search itself is fusion-agnostic — a fused op is
+	// just an expression — but the rule set joins the plan-record
+	// fingerprint so plans produced under different fusion regimes can
+	// never answer each other from the cache or the fleet tier.
+	FusionRules string
 
 	// Pool, when non-nil, is the compile-wide worker budget this
 	// searcher shares with t10.CompileModel: helper goroutines for Fop
@@ -471,6 +485,7 @@ func (s *Searcher) searchOp(ctx context.Context, e *expr.Expr) (*Result, error) 
 	// deterministically before pruning can skip any enumeration.
 	table, truncated := s.buildFtTable(e, fops)
 	r.Spaces.TruncatedFtCombos = truncated
+	r.Spaces.FusedOps = e.FusedOps
 
 	pred := s.CM.Resolve(e.Name, e.Kind)
 	var pf *pruneFrontier

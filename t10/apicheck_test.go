@@ -35,6 +35,7 @@ var (
 
 	_ func(string, costmodel.CostFunc) t10.CompilerOption = t10.WithCostFunc
 	_ func(string, costmodel.CostFunc) t10.CompilerOption = t10.WithMonotoneCostFunc
+	_ func(graph.RuleSet) t10.CompilerOption              = t10.WithFusion
 	_ func(int) t10.CompileOption                         = t10.WithAdmissionWeight
 	_ func() t10.CompileOption                            = t10.WithDetachOnCancel
 	_ func(t10.TelemetryLevel) t10.CompileOption          = t10.WithTelemetry
@@ -97,11 +98,17 @@ var (
 		AdmissionWait: 0, CacheProbe: 0, ColdSearch: 0, Reconcile: 0, Wall: 0,
 		AdmissionWeight: 0,
 		RouteMemory:     0, RouteDisk: 0, RouteRemote: 0, RouteFlightWait: 0, RouteCold: 0,
+		FusedGroups: 0, FusedOps: 0,
 		Filtered: 0, Priced: 0, Pruned: 0, Seeded: 0, CutSubtrees: 0, CutLeaves: 0,
 		DebugEvents: []search.DebugEvent(nil),
 	}
 	_ = t10.CompileResult{Executable: (*t10.Executable)(nil), Telemetry: t10.Telemetry{}}
 	_ = t10.SearchResult{Result: (*search.Result)(nil), Telemetry: t10.Telemetry{}}
+	_ = t10.Executable{
+		Model: (*graph.Model)(nil), Spec: (*device.Spec)(nil),
+		Schedule: nil, Plans: nil, Fusion: (*graph.FusedGraph)(nil),
+		CompileTime: 0,
+	}
 )
 
 // TestAPICheck is the one runtime pass: a tiny device, one op, every

@@ -79,6 +79,18 @@ func (c *Compiler) EstimateCost(m *graph.Model) (CostEstimate, error) {
 	if err := m.Validate(); err != nil {
 		return CostEstimate{}, err
 	}
+	// Under WithFusion, Compile searches the fused graph's composed
+	// expressions — which carry different cache fingerprints than the
+	// source ops — so the estimate must probe exactly those, or every
+	// warm fused compile would be mispriced as cold (and the weight-0
+	// probe fast path would never trigger).
+	if c.fusion.Enabled() {
+		fg, err := graph.Fuse(m, c.fusion)
+		if err != nil {
+			return CostEstimate{}, err
+		}
+		m = fg.Fused
+	}
 	var est CostEstimate
 	seen := make(map[string]bool, len(m.Ops))
 	for i := range m.Ops {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/dtype"
 	"repro/internal/expr"
+	"repro/internal/graph"
 	"repro/internal/kernel"
 	"repro/internal/models"
 	"repro/t10"
@@ -128,6 +129,51 @@ func ExampleWithCostFunc() {
 	fmt.Println("plans priced by the custom kernel model:", len(r.Pareto) > 0)
 	// Output:
 	// plans priced by the custom kernel model: true
+}
+
+// Operator fusion is construction-scoped for the same reason: the rule
+// set joins the plan-cache fingerprint, so fused and unfused compiles
+// never answer each other from cache. With DefaultRules a
+// MatMul → bias → activation chain folds into one composed operator:
+// the search prices it as a single kernel (epilogue arithmetic
+// included), reconciliation sees one boundary instead of three, and
+// the telemetry reports the group that was formed. Fusion is off
+// unless WithFusion is given.
+func ExampleWithFusion() {
+	c, err := t10.New(device.IPUMK2(), t10.DefaultOptions(),
+		t10.WithFusion(graph.DefaultRules()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := &graph.Model{Name: "ffn-cell", BatchSize: 1, Ops: []graph.Op{
+		{
+			Name:         "proj",
+			Expr:         expr.MatMul("proj", 128, 256, 64, dtype.FP16),
+			WeightInputs: []int{1},
+			Sources:      []int{graph.External, graph.External},
+		},
+		{
+			Name:    "bias",
+			Expr:    expr.EltwiseBinary("bias", 128, 64, dtype.FP16),
+			Sources: []int{0, graph.External},
+		},
+		{
+			Name:    "gelu",
+			Expr:    expr.Elementwise("gelu", 128, 64, 8, dtype.FP16),
+			Sources: []int{1},
+		},
+	}}
+	cr, err := c.CompileWithResult(context.Background(), m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ops after fusion:", len(cr.Executable.Model.Ops))
+	fmt.Println("groups formed:", cr.Executable.Fusion.GroupCount())
+	fmt.Println("source ops folded:", cr.Telemetry.FusedOps)
+	// Output:
+	// ops after fusion: 1
+	// groups formed: 1
+	// source ops folded: 3
 }
 
 // EstimateCost prices a request before compiling it — cache probes plus

@@ -93,6 +93,13 @@ type Telemetry struct {
 	RouteFlightWait int
 	RouteCold       int
 
+	// Fusion outcome of this compile (WithFusion): FusedGroups is the
+	// number of multi-op groups the pass formed, FusedOps the source
+	// operators folded into them. Zero when fusion was off or nothing
+	// matched a rule; always zero for a single-operator Search.
+	FusedGroups int
+	FusedOps    int
+
 	// Search-space counters summed over this request's cold searches
 	// (TelemetryFull only): the Fig 18 accounting of the work this
 	// request actually performed — cached answers contribute nothing.
@@ -154,6 +161,8 @@ func (t *Telemetry) fill(col *search.Collector) {
 	t.RouteRemote = int(tot.Routes[search.RouteRemote])
 	t.RouteFlightWait = int(tot.Routes[search.RouteFlightWait])
 	t.RouteCold = int(tot.Routes[search.RouteCold])
+	t.FusedGroups = int(tot.FusedGroups)
+	t.FusedOps = int(tot.FusedOps)
 	if t.Level >= TelemetryFull {
 		t.Filtered = int(tot.Filtered)
 		t.Priced = int(tot.Priced)

@@ -178,6 +178,43 @@ func WithMonotoneCostFunc(opName string, f costmodel.CostFunc) CompilerOption {
 	return func(c *Compiler) { c.CM.RegisterCustomMonotone(opName, f) }
 }
 
+// WithFusion enables the operator-fusion pass for every model this
+// compiler compiles: before the per-operator searches, graph.Fuse
+// folds fusible producer→consumer chains (elementwise epilogues onto
+// matmul/conv outputs; attention-style score→softmax→weighted-sum
+// contractions) into single composed operators, which the search then
+// prices directly — one kernel launch, no intermediate tensor round-
+// trip, and reconciliation sees only the group boundaries. Fusion is
+// construction-scoped because the rule set is part of the plan-cache
+// fingerprint: a fused and an unfused compile of the same model must
+// never answer each other from cache. The zero RuleSet (or omitting
+// this option) keeps fusion off and the compile bit-identical to the
+// pre-fusion pipeline; graph.DefaultRules() enables every rule.
+//
+// When rules.Gate is nil, the compiler installs a profitability gate
+// backed by the device's analytic cost model: a chain extension is
+// kept only if the composed kernel prices no worse under an idealized
+// output-parallel split than the two ops it replaces, plus the
+// inter-op boundary it saves. This is what keeps a structurally legal
+// but ruinous fusion — a chained contraction at decode-size batches,
+// whose kernel recomputes the intermediate per output tile — out of
+// the plan, while bias/activation epilogues still fold for free. Pass
+// an explicit Gate (even one returning true) to override.
+func WithFusion(rules graph.RuleSet) CompilerOption {
+	return func(c *Compiler) {
+		if rules.Gate == nil && rules.Enabled() {
+			spec := c.Spec
+			rules.Gate = func(fused, producer, consumer *expr.Expr) bool {
+				sum := core.IdealizedNs(spec, producer, spec.Cores) +
+					core.IdealizedNs(spec, consumer, spec.Cores)
+				return core.IdealizedNs(spec, fused, spec.Cores) <= sum
+			}
+		}
+		c.fusion = rules
+		c.searcher.FusionRules = rules.String()
+	}
+}
+
 // Compiler compiles models for one device. It is immutable after New
 // and safe for concurrent use: every mutable structure it touches (the
 // plan cache, the in-flight search deduplication, the worker budget)
@@ -200,6 +237,11 @@ type Compiler struct {
 
 	// workers is Opts.Workers with the GOMAXPROCS default resolved.
 	workers int
+
+	// fusion is the operator-fusion rule set fixed at construction
+	// (WithFusion); the zero RuleSet means the pass is off and Compile
+	// is bit-identical to the pre-fusion pipeline.
+	fusion graph.RuleSet
 }
 
 // New profiles the device, fits the cost models, applies the
@@ -388,12 +430,16 @@ func (c *Compiler) SearchWithResult(ctx context.Context, e *expr.Expr, opts ...C
 }
 
 // Executable is a compiled model: per-operator idle/active plans plus
-// the reconciliation schedule.
+// the reconciliation schedule. When the compiler was built with
+// WithFusion, Model is the fused model (what the plans and schedule
+// index) and Fusion maps it back to the source ops; Fusion is nil when
+// the pass was off.
 type Executable struct {
 	Model    *graph.Model
 	Spec     *device.Spec
 	Schedule *interop.Schedule
 	Plans    []interop.OpPlans
+	Fusion   *graph.FusedGraph
 
 	CompileTime time.Duration
 }
@@ -503,6 +549,21 @@ func (c *Compiler) CompileWithResult(ctx context.Context, m *graph.Model, opts .
 func (c *Compiler) compileModel(reqCtx, searchCtx context.Context, m *graph.Model, col *search.Collector, tel *Telemetry) (*Executable, error) {
 	start := time.Now()
 
+	// operator fusion (WithFusion): fold fusible chains before any
+	// search runs, so the composed expressions are what gets priced,
+	// cached and reconciled. The pass is deterministic and cheap
+	// relative to a single cold search, so it is not a telemetry stage
+	// of its own; its outcome is reported through the collector.
+	var fg *graph.FusedGraph
+	if c.fusion.Enabled() {
+		var err error
+		if fg, err = graph.Fuse(m, c.fusion); err != nil {
+			return nil, fmt.Errorf("fusion pass: %w", err)
+		}
+		m = fg.Fused
+		col.AddFusion(fg.GroupCount(), fg.FusedOpCount())
+	}
+
 	// warm the plan cache: unique operator shapes in first-appearance
 	// order (deterministic), searched by the budgeted worker pool
 	var uniq []*expr.Expr
@@ -604,7 +665,7 @@ func (c *Compiler) compileModel(reqCtx, searchCtx context.Context, m *graph.Mode
 	}
 	return &Executable{
 		Model: m, Spec: c.Spec, Schedule: sched, Plans: plans,
-		CompileTime: time.Since(start),
+		Fusion: fg, CompileTime: time.Since(start),
 	}, nil
 }
 
