@@ -82,6 +82,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/costmodel"
 	"repro/internal/device"
 	"repro/internal/dtype"
 	"repro/internal/expr"
@@ -103,6 +104,8 @@ func main() {
 	cacheSalt := flag.String("cache-salt", "", "deployment secret HMAC'ing persisted plan records; records written under another salt (or tampered with) load as misses")
 	peers := flag.String("peers", "", "comma-separated base URLs of fleet peers whose /plans stores answer cache misses before a cold search (empty = no remote tier)")
 	fusion := flag.Bool("fusion", false, "run the operator-fusion pass on every model compile (graph.DefaultRules); fused and unfused plan caches never mix — the rule set is part of the cache fingerprint")
+	calibrate := flag.Bool("calibrate", false, "close the cost-model measurement loop: record (kernel task, simulated time) samples from every cold search and simulated run, periodically refit the cost model over them and redeploy the compiler (see -calibrate-every)")
+	calibEvery := flag.Int("calibrate-every", 256, "with -calibrate: new samples accumulated between refits; each refit bumps the fit version and retires the previous fit's plan records as counted cache rejects")
 	flag.Parse()
 
 	budget := *workers
@@ -130,17 +133,34 @@ func main() {
 	if *fusion {
 		copts = append(copts, t10.WithFusion(graph.DefaultRules()))
 	}
-	c, err := t10.New(device.IPUMK2(), opts, copts...)
+	var ring *costmodel.SampleRing
+	if *calibrate {
+		ring = costmodel.NewSampleRing(costmodel.DefaultRingSize)
+	}
+	// buildCompiler constructs one compiler generation; the calibration
+	// loop re-invokes it with an ascending fit version so each refit
+	// over the (shared, ever-growing) ring is named distinctly.
+	buildCompiler := func(version int) (*t10.Compiler, error) {
+		cc := copts
+		if ring != nil {
+			cc = append(cc[:len(cc):len(cc)], t10.WithCalibrationVersion(ring, version))
+		}
+		return t10.New(device.IPUMK2(), opts, cc...)
+	}
+	c, err := buildCompiler(0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "t10serve:", err)
 		os.Exit(1)
 	}
-	log.Printf("t10serve: listening on %s (device %s, budget %d workers, queue %d, compile timeout %v, detach-on-cancel %t (limit %d), fusion %t, cache dir %q, peers %v)",
-		*addr, c.Spec.Name, budget, *queue, *timeout, *detach, dlim, *fusion, *cacheDir, remote.Peers())
+	log.Printf("t10serve: listening on %s (device %s, budget %d workers, queue %d, compile timeout %v, detach-on-cancel %t (limit %d), fusion %t, calibrate %t (every %d), cache dir %q, peers %v)",
+		*addr, c.Spec.Name, budget, *queue, *timeout, *detach, dlim, *fusion, *calibrate, *calibEvery, *cacheDir, remote.Peers())
 	hsrv := newServer(c, pool, *timeout)
 	hsrv.detach = *detach
 	hsrv.detachLimit = limiter
 	hsrv.remote = remote
+	if ring != nil {
+		hsrv.enableCalibration(ring, *calibEvery, buildCompiler)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           hsrv.mux(),
@@ -197,14 +217,28 @@ const (
 // server wires one compiler into the HTTP handlers. The compiler is
 // safe for concurrent compiles: the shared worker budget, the plan
 // cache and the searcher's in-flight deduplication do the heavy
-// lifting.
+// lifting. It is held behind an atomic pointer because the calibration
+// loop (-calibrate) redeploys a freshly refit compiler at runtime;
+// each request pins one compiler via compiler() and runs on it end to
+// end, so a mid-request swap can never mix two fits in one response.
 type server struct {
-	c           *t10.Compiler
+	cur         atomic.Pointer[t10.Compiler]
 	pool        *sema.Sem         // the shared budget, for /stats and admission gauges
 	timeout     time.Duration     // per-request compile deadline; 0 = none
 	detach      bool              // cancelled requests warm the cache instead of wasting work
 	detachLimit *t10.DetachLimit  // cap + gauges on concurrently detached requests (nil = uncapped)
 	remote      *plancache.Remote // fleet peer tier (nil = standalone); nil-safe methods
+
+	// calibration loop state (-calibrate; see enableCalibration). The
+	// ring outlives every compiler generation — each rebuild refits
+	// over the same accumulated samples.
+	calibRing   *costmodel.SampleRing
+	calibEvery  uint64                                   // new samples between refits
+	rebuild     func(version int) (*t10.Compiler, error) // construct the next generation
+	refitting   atomic.Bool                              // one refit in flight at a time
+	refits      atomic.Int64                             // compilers redeployed by the loop
+	refitFails  atomic.Int64                             // rebuilds that errored (previous fit kept serving)
+	nextRefitAt atomic.Uint64                            // ring lifetime total that triggers the next refit
 
 	inFlight     atomic.Int64 // requests currently compiling (or queued for a slot)
 	completed    atomic.Int64 // 200s served
@@ -291,7 +325,68 @@ func (r *latRing) percentiles() percentileJSON {
 }
 
 func newServer(c *t10.Compiler, pool *sema.Sem, timeout time.Duration) *server {
-	return &server{c: c, pool: pool, timeout: timeout}
+	s := &server{pool: pool, timeout: timeout}
+	s.cur.Store(c)
+	return s
+}
+
+// compiler returns the compiler generation currently serving. Handlers
+// call it once per request and use that pin throughout, so every
+// response is priced by exactly one fit even if a refit swaps the
+// pointer mid-request.
+func (s *server) compiler() *t10.Compiler { return s.cur.Load() }
+
+// enableCalibration arms the online refinement loop: once ring has
+// accumulated `every` new samples since the last deploy, the server
+// rebuilds the compiler (refitting the cost model over the ring, with
+// an ascending fit version) and atomically swaps it in. Requests keep
+// flowing on the previous generation while the rebuild runs; the
+// generations safely share the disk cache, worker pool and fleet tier,
+// and the new fit's fingerprint tag retires the old fit's plan records
+// as counted cache rejects.
+func (s *server) enableCalibration(ring *costmodel.SampleRing, every int, rebuild func(version int) (*t10.Compiler, error)) {
+	if ring == nil || every <= 0 || rebuild == nil {
+		return
+	}
+	s.calibRing = ring
+	s.calibEvery = uint64(every)
+	s.rebuild = rebuild
+	s.nextRefitAt.Store(uint64(every))
+}
+
+// maybeRecalibrate kicks an asynchronous refit when the sample ring
+// has grown past the next threshold. At most one refit runs at a time
+// (CAS-guarded); requests are never blocked by it.
+func (s *server) maybeRecalibrate() {
+	if s.calibRing == nil || s.calibRing.Total() < s.nextRefitAt.Load() {
+		return
+	}
+	if !s.refitting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.refitting.Store(false)
+		if err := s.recalibrate(); err != nil {
+			log.Printf("t10serve: recalibrate: %v", err)
+		}
+	}()
+}
+
+// recalibrate synchronously rebuilds the compiler over the current
+// ring contents and redeploys it. The fit version ascends with each
+// deploy (the shipped boot fit is generation 0), so /stats and the
+// record fingerprints name every successive fit distinctly.
+func (s *server) recalibrate() error {
+	version := int(s.refits.Load()) + 1
+	nc, err := s.rebuild(version)
+	if err != nil {
+		s.refitFails.Add(1)
+		return err
+	}
+	s.cur.Store(nc)
+	s.refits.Add(1)
+	s.nextRefitAt.Store(s.calibRing.Total() + s.calibEvery)
+	return nil
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -531,6 +626,9 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.compileModel(ctx, w, req)
 	}
+	// cold searches (and simulated runs) the request just performed may
+	// have pushed the sample ring past the refit threshold
+	s.maybeRecalibrate()
 }
 
 // reqOptions prices one request's admission from its cost estimate and
@@ -567,13 +665,14 @@ func (s *server) compileModel(ctx context.Context, w http.ResponseWriter, req *c
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	est, err := s.c.EstimateCost(m)
+	c := s.compiler()
+	est, err := c.EstimateCost(m)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	start := time.Now()
-	cr, err := s.c.CompileWithResult(ctx, m, s.reqOptions(est)...)
+	cr, err := c.CompileWithResult(ctx, m, s.reqOptions(est)...)
 	if err != nil {
 		s.compileError(w, "compile "+req.Model, err)
 		return
@@ -586,7 +685,7 @@ func (s *server) compileModel(ctx context.Context, w http.ResponseWriter, req *c
 		Batch:      m.BatchSize,
 		Ops:        len(exe.Model.Ops),
 		CompileMs:  float64(time.Since(start).Microseconds()) / 1e3,
-		IdleMemPct: 100 * float64(exe.Schedule.IdleMemPerCore) / float64(s.c.Spec.CoreMemBytes),
+		IdleMemPct: 100 * float64(exe.Schedule.IdleMemPerCore) / float64(c.Spec.CoreMemBytes),
 	}
 	for i := range exe.Model.Ops {
 		op := &exe.Model.Ops[i]
@@ -620,13 +719,14 @@ func (s *server) compileOp(ctx context.Context, w http.ResponseWriter, spec *opS
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	est, err := s.c.EstimateOpCost(e)
+	c := s.compiler()
+	est, err := c.EstimateOpCost(e)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	start := time.Now()
-	sr, err := s.c.SearchWithResult(ctx, e, s.reqOptions(est)...)
+	sr, err := c.SearchWithResult(ctx, e, s.reqOptions(est)...)
 	if err != nil {
 		s.compileError(w, "search "+e.Name, err)
 		return
@@ -720,10 +820,11 @@ func (s *server) handlePlans(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "want /plans/{64-hex-digit fingerprint}")
 		return
 	}
+	pc := s.compiler().PlanCache()
 	switch r.Method {
 	case http.MethodGet:
 		s.planGets.Add(1)
-		raw, ok := s.c.PlanCache().RawBlob(k)
+		raw, ok := pc.RawBlob(k)
 		if !ok {
 			s.planGetMisses.Add(1)
 			s.httpError(w, http.StatusNotFound, "no record for %s", k)
@@ -744,7 +845,7 @@ func (s *server) handlePlans(w http.ResponseWriter, r *http.Request) {
 			s.httpError(w, http.StatusBadRequest, "read record: %v", err)
 			return
 		}
-		switch err := s.c.PlanCache().ImportBlob(k, raw); {
+		switch err := pc.ImportBlob(k, raw); {
 		case err == nil:
 			w.WriteHeader(http.StatusNoContent)
 		case errors.Is(err, plancache.ErrImportRejected):
@@ -765,7 +866,7 @@ func (s *server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 		s.methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	s.writeJSON(w, s.c.CacheStats())
+	s.writeJSON(w, s.compiler().CacheStats())
 }
 
 // statsResponse is the /stats payload: the admission and budget gauges
@@ -818,6 +919,22 @@ type statsResponse struct {
 	// counters with per-peer breaker states (absent standalone), plus
 	// this replica's peer-facing /plans serve counters.
 	Remote *remoteStatsJSON `json:"remote,omitempty"`
+
+	// Calibration is the online cost-model refinement loop's state
+	// (absent unless the server runs with -calibrate).
+	Calibration *calibrationJSON `json:"calibration,omitempty"`
+}
+
+// calibrationJSON is the /stats calibration section: how many samples
+// the measurement taps have collected, which fit generation is
+// serving, and the refit ledger.
+type calibrationJSON struct {
+	Samples      uint64  `json:"samples"`         // lifetime samples recorded by the taps
+	RingLen      int     `json:"ring_len"`        // samples currently held (≤ ring capacity)
+	FitVersion   int     `json:"fit_version"`     // 0 = shipped (profile-time) fit
+	MaxOverEstNs float64 `json:"max_over_est_ns"` // worst observed over-estimate → the calibrated floor's slack
+	Refits       int64   `json:"refits"`          // compiler generations redeployed
+	RefitFails   int64   `json:"refit_fails"`     // rebuilds that errored (old fit kept serving)
 }
 
 // remoteStatsJSON is the /stats remote section: the plancache.Remote
@@ -872,6 +989,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			PlanPuts:       s.planPuts.Load(),
 			PlanPutRejects: s.planPutRejects.Load(),
 		}
+	}
+	if s.calibRing != nil {
+		cj := &calibrationJSON{
+			Samples:    s.calibRing.Total(),
+			RingLen:    s.calibRing.Len(),
+			Refits:     s.refits.Load(),
+			RefitFails: s.refitFails.Load(),
+		}
+		if cal, ok := s.compiler().Calibration(); ok {
+			cj.FitVersion = cal.Version
+			cj.MaxOverEstNs = cal.MaxOverEstNs
+		}
+		resp.Calibration = cj
 	}
 	s.writeJSON(w, resp)
 }

@@ -553,10 +553,14 @@ func (ps *PlanSketch) ComputeFloorTask(ftCaps []int) kernel.Task {
 // completion: 0 is always safe (the predictor-free behaviour — custom
 // cost functions are opaque by default), and a costmodel.MonotoneLB
 // predictor priced at ComputeFloorTask provides a real floor for one
-// taskFor call per Fop instead of one per prefix. Every completion runs
-// at least ∏ prefixMax[a] steps, so stepsLB × perStepFloorNs bounds its
-// compute term from below. Scaled down like LowerBoundNs to absorb
-// summation-order rounding.
+// taskFor call per Fop instead of one per prefix. A predictor that
+// additionally declares costmodel.FloorLB may supply FloorNs at
+// ComputeFloorTask instead: FloorNs ≤ Predict everywhere, so the
+// same monotone-domination argument carries through with a floor that
+// is also admissible against the measured (simulated) times. Every
+// completion runs at least ∏ prefixMax[a] steps, so stepsLB ×
+// perStepFloorNs bounds its compute term from below. Scaled down like
+// LowerBoundNs to absorb summation-order rounding.
 func (ps *PlanSketch) PartialTimeLB(spec *device.Spec, perStepFloorNs float64) float64 {
 	ps.partialExt()
 	e := ps.e

@@ -17,8 +17,12 @@ type Set struct {
 	models map[expr.OpKind]*Model
 	acc    map[expr.OpKind]Accuracy
 
-	mu     sync.RWMutex // guards custom: searches read it from a worker pool
-	custom map[string]customEntry
+	// mu guards the mutable maps below: searches read them from a
+	// worker pool while registrations and calibration rounds write.
+	mu         sync.RWMutex
+	custom     map[string]customEntry
+	calibrated map[expr.OpKind]*CalibratedModel // measurement-refit models (see calibrate.go)
+	cal        Calibration                      // last calibration round; zero = shipped fit only
 }
 
 // customEntry is one registered custom cost function plus its declared
@@ -166,15 +170,22 @@ func (p funcPredictor) MonotoneLB() bool              { return p.monotone }
 func Func(f CostFunc) Predictor { return funcPredictor{f: f} }
 
 // Resolve returns the Predictor for the named operator of the given
-// kind. The resolution is a snapshot: a custom function (un)registered
-// after Resolve is not observed by the returned handle — the searcher's
-// fingerprint recheck already treats such mid-search swaps as uncacheable.
+// kind: a custom registration wins, then a calibrated model from the
+// last Calibrate round, then the shipped fit. The resolution is a
+// snapshot: a custom function (un)registered or a calibration
+// installed after Resolve is not observed by the returned handle — the
+// searcher's fingerprint recheck already treats such mid-search swaps
+// as uncacheable.
 func (s *Set) Resolve(opName string, kind expr.OpKind) Predictor {
 	s.mu.RLock()
 	e, ok := s.custom[opName]
+	cm := s.calibrated[kind]
 	s.mu.RUnlock()
 	if ok {
 		return funcPredictor{f: e.f, monotone: e.monotone}
+	}
+	if cm != nil {
+		return cm
 	}
 	m, ok := s.models[kind]
 	if !ok {

@@ -48,29 +48,39 @@ func benchFusedOp() *expr.Expr {
 //	fused     — the default engine searching the composed
 //	            matmul+bias+activation expression the fusion pass emits:
 //	            one search where the unfused pipeline runs three
+//	calibrated — the default engine pricing with a measurement-refit
+//	            cost model (and its calibrated floor): tracks how far
+//	            calibration closes the priced-candidates gap to the 216
+//	            offline ceiling (see TestColdSearchPricedCeiling)
 //
 // All variants select bit-identical Pareto plans (TestSearchEquivalence).
 // With BENCH_SEARCH_JSON set, each variant records its numbers into that
 // file so the perf trajectory is tracked across PRs (make bench-search).
 func BenchmarkColdSearch(b *testing.B) {
 	variants := []struct {
-		name      string
-		workers   int
-		noPrune   bool
-		noSubtree bool
-		telemetry bool
-		fused     bool
+		name       string
+		workers    int
+		noPrune    bool
+		noSubtree  bool
+		telemetry  bool
+		fused      bool
+		calibrated bool
 	}{
-		{"seq", 1, true, false, false, false},
-		{"par", 0, true, false, false, false},
-		{"pruned", 0, false, true, false, false},
-		{"subtree", 0, false, false, false, false},
-		{"telemetry", 0, false, false, true, false},
-		{"fused", 0, false, false, false, true},
+		{name: "seq", workers: 1, noPrune: true},
+		{name: "par", noPrune: true},
+		{name: "pruned", noSubtree: true},
+		{name: "subtree"},
+		{name: "telemetry", telemetry: true},
+		{name: "fused", fused: true},
+		{name: "calibrated", calibrated: true},
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
-			s := New(device.IPUMK2(), testCM(), DefaultConstraints(), core.DefaultConfig())
+			cm := testCM()
+			if v.calibrated {
+				cm = calibratedCM(b, device.IPUMK2())
+			}
+			s := New(device.IPUMK2(), cm, DefaultConstraints(), core.DefaultConfig())
 			s.Workers, s.NoPrune, s.NoSubtree = v.workers, v.noPrune, v.noSubtree
 			e := benchColdOp()
 			if v.fused {

@@ -42,7 +42,15 @@ import (
 // fingerprint covers the active fusion rule set, and the kernel/cost
 // model price chained contractions — so a v5 record (fused or not)
 // describes plans priced by a different model.
-const resultFormat = 6
+//
+// v7: the calibrated cost model landed. The fingerprint covers the
+// active calibration tag (fit version + θ digest), the subtree compute
+// floor switches to the calibrated floor for predictors declaring
+// costmodel.FloorLB (changing the Pruned/Cut accounting a record
+// carries), and estimates in a record may come from a refit model — so
+// a v6 record describes plans priced by a fit this builder cannot name.
+// Bump plancache.DefaultBuilder together with this constant.
+const resultFormat = 7
 
 // fingerprint derives the content-addressed cache key for one operator
 // search. It covers everything the search outcome depends on: the
@@ -78,6 +86,11 @@ func (s *Searcher) fingerprint(e *expr.Expr) plancache.Key {
 		// rule set happened to leave unfused — the rule set is part of
 		// the compile regime
 		"fusion="+s.FusionRules,
+		// plans priced under different cost-model fits must never
+		// collide either: the tag names the fit version and its θ
+		// digest, so every refit retires the previous fit's records as
+		// counted rejects across every cache tier
+		"calib="+s.Calibration,
 		e.Signature(),
 	)
 }

@@ -340,3 +340,75 @@ func TestConcurrentIdenticalSearchesDeduplicate(t *testing.T) {
 		t.Fatalf("stats = %+v, want a single entry", st)
 	}
 }
+
+// TestStaleV6BuilderRecordOverwrittenUnderV7 is the v6→v7 upgrade
+// regression for the calibration release: a record sealed by the
+// pre-calibration pipeline's builder ("t10-builder/6") — valid JSON
+// under a valid MAC for that era, describing plans priced by a fit
+// this builder cannot name — must be a counted reject+miss for a v7
+// reader, trigger a fresh search, and be overwritten in place with a
+// v7-sealed record the old builder in turn refuses to load.
+func TestStaleV6BuilderRecordOverwrittenUnderV7(t *testing.T) {
+	dir := t.TempDir()
+	e := expr.MatMul("mm", 256, 512, 512, dtype.FP16)
+	s := newSearcher()
+	s.SetCache(plancache.New(plancache.Options{Dir: dir}))
+	key := s.fingerprint(e)
+
+	// seed the record exactly as a pre-calibration deployment would
+	// have: one decodable-looking plan, sealed by the v6 builder
+	v6 := plancache.New(plancache.Options{Dir: dir, Builder: "t10-builder/6"})
+	stale := `{"format":6,"op":"mm","pareto":[{"fop":[1,1,1],"fts":[null,null,null],` +
+		`"est":{"TotalNs":1,"MemPerCore":1}}],"complete":"1","filtered":1,"optimized":1}`
+	if err := v6.PutBlob(key, []byte(stale)); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := s.SearchOp(e)
+	if err != nil {
+		t.Fatalf("v6-sealed record must be a miss, got error: %v", err)
+	}
+	if len(r.Pareto) < 2 || r.Spaces.Filtered <= 1 {
+		t.Fatalf("got the v6 record's content back (pareto %d, filtered %d), want a fresh search",
+			len(r.Pareto), r.Spaces.Filtered)
+	}
+	st := s.Cache().Stats()
+	if st.DiskRejects < 1 || st.DiskMisses < 1 {
+		t.Fatalf("stats = %+v, want the stale builder counted as reject+miss", st)
+	}
+	if st.DiskWrites != 1 {
+		t.Fatalf("stats = %+v, want exactly one overwrite", st)
+	}
+
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("want 1 cache file, got %v", files)
+	}
+	payload, ok := plancache.New(plancache.Options{Dir: dir}).GetBlob(key)
+	if !ok {
+		t.Fatal("overwritten record does not pass the v7 provenance check")
+	}
+	if _, err := decodeResult(e, s.Cfg, payload); err != nil {
+		t.Fatalf("overwritten record does not decode: %v", err)
+	}
+	if _, ok := plancache.New(plancache.Options{Dir: dir, Builder: "t10-builder/6"}).GetBlob(key); ok {
+		t.Fatal("the v6 builder loaded a v7-sealed record; builder provenance is not separating eras")
+	}
+}
+
+// TestCalibrationTagSeparatesFingerprints pins the cache-key half of
+// the calibration release: two searchers differing only in their
+// calibration tag must never answer each other, and an untagged
+// searcher keeps the pre-calibration key.
+func TestCalibrationTagSeparatesFingerprints(t *testing.T) {
+	e := expr.MatMul("mm", 256, 512, 512, dtype.FP16)
+	plain := newSearcher()
+	calA := newSearcher()
+	calA.Calibration = "v1-0011223344aa"
+	calB := newSearcher()
+	calB.Calibration = "v2-5566778899bb"
+	kPlain, kA, kB := plain.fingerprint(e), calA.fingerprint(e), calB.fingerprint(e)
+	if kPlain == kA || kPlain == kB || kA == kB {
+		t.Fatalf("calibration tags do not separate cache keys: plain=%s a=%s b=%s", kPlain, kA, kB)
+	}
+}

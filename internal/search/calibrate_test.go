@@ -1,0 +1,172 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+	"repro/internal/kernel"
+)
+
+// calibratedCM builds a fresh cost-model set (never the shared testCM —
+// calibration mutates resolution) refit over a broadly seeded sample
+// ring, the way a warmed-up serving process would be.
+func calibratedCM(t testing.TB, spec *device.Spec) *costmodel.Set {
+	t.Helper()
+	set := costmodel.MustNewSet(spec)
+	ring := costmodel.NewSampleRing(1 << 14)
+	for i, kind := range set.Kinds() {
+		for _, s := range costmodel.ProfileSamples(spec, kind, 400, int64(9000+i)) {
+			ring.Record(s.Task, s.Ns)
+		}
+	}
+	cal, err := set.Calibrate(ring, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Tag() == "" {
+		t.Fatal("calibration produced an empty tag")
+	}
+	return set
+}
+
+// TestSearchEquivalenceCalibrated is TestSearchEquivalence's acceptance
+// clause for the calibrated cost model: with a refit predictor (and its
+// calibrated floor driving the subtree bound), every engine variant
+// still returns byte-identical Pareto sets to the brute-force
+// reference priced on the same calibrated set.
+func TestSearchEquivalenceCalibrated(t *testing.T) {
+	spec := device.IPUMK2().Subset(64)
+	set := calibratedCM(t, spec)
+	ops := []*expr.Expr{
+		expr.MatMul("mm", 256, 256, 256, dtype.FP16),
+		expr.ReduceSum("sum", 64, 256, dtype.FP16),
+		expr.GatherOp("emb", 128, 1000, 64, dtype.FP16),
+	}
+	type variant struct {
+		workers   int
+		noPrune   bool
+		noSubtree bool
+	}
+	variants := []variant{
+		{1, false, false}, // default engine, sequential
+		{4, false, false}, // default engine, parallel
+		{2, false, true},  // leaf pruning only
+		{8, true, false},  // no pruning: exact accounting
+	}
+	for _, e := range ops {
+		s := New(spec, set, DefaultConstraints(), core.DefaultConfig())
+		wantPareto, wantFiltered := referenceSearch(s, e)
+		if len(wantPareto) == 0 {
+			t.Fatalf("%s: reference found no plans", e.Name)
+		}
+		for _, v := range variants {
+			name := fmt.Sprintf("%s/w%d/noprune=%t/nosubtree=%t", e.Name, v.workers, v.noPrune, v.noSubtree)
+			s.Workers, s.NoPrune, s.NoSubtree = v.workers, v.noPrune, v.noSubtree
+			r, err := s.searchOp(context.Background(), e)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if r.Spaces.Filtered > wantFiltered {
+				t.Errorf("%s: filtered = %d exceeds reference %d", name, r.Spaces.Filtered, wantFiltered)
+			}
+			if len(r.Pareto) != len(wantPareto) {
+				t.Fatalf("%s: pareto size = %d, want %d", name, len(r.Pareto), len(wantPareto))
+			}
+			for i := range wantPareto {
+				if !sameCandidate(&r.Pareto[i], &wantPareto[i]) {
+					t.Fatalf("%s: pareto[%d] differs:\n got Fop=%v est=%+v\nwant Fop=%v est=%+v",
+						name, i, r.Pareto[i].Plan.Fop, r.Pareto[i].Est,
+						wantPareto[i].Plan.Fop, wantPareto[i].Est)
+				}
+			}
+		}
+	}
+}
+
+// TestSampleTapFiresPerParetoSurvivor pins the post-search measurement
+// hook: one (kernel task, ground-truth per-step time) sample per Pareto
+// survivor of a cold search, priced by the kernel model the simulator
+// charges.
+func TestSampleTapFiresPerParetoSurvivor(t *testing.T) {
+	s := newSearcher()
+	type tapped struct {
+		task kernel.Task
+		ns   float64
+	}
+	var got []tapped
+	s.SampleTap = func(task kernel.Task, measuredNs float64) {
+		got = append(got, tapped{task, measuredNs})
+	}
+	s.Workers = 1 // the tap itself runs post-merge; workers just add noise to ordering
+	e := expr.MatMul("mm", 256, 256, 256, dtype.FP16)
+	r, err := s.searchOp(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(r.Pareto) {
+		t.Fatalf("tap fired %d times, want one per Pareto survivor (%d)", len(got), len(r.Pareto))
+	}
+	for i := range r.Pareto {
+		wantTask := r.Pareto[i].Plan.KernelTask()
+		if got[i].task != wantTask {
+			t.Errorf("tap[%d] task %+v, want the survivor's kernel task %+v", i, got[i].task, wantTask)
+		}
+		if want := kernel.Nanoseconds(s.CM.Spec, wantTask); got[i].ns != want {
+			t.Errorf("tap[%d] measured %g, want kernel ground truth %g", i, got[i].ns, want)
+		}
+	}
+}
+
+// The pricing gap on benchColdOp (full IPUMK2): an offline oracle that
+// priced only the plans that end up on the frontier (plus the seeds
+// that guarded them) would price 216 candidates; the shipped fit's
+// bound-ascending leaf pricing reaches 226 — ten leaves whose
+// Predict-based lower bound slips under the frontier's guard estimate
+// but whose true estimate then lands off the frontier. Refitting over
+// measured samples closes the gap: the calibrated θ tracks the kernel
+// ground truth more tightly, bounds and guard estimates separate the
+// marginal leaves correctly, and the measured count drops to 214 —
+// under the offline ceiling (the calibrated floor keeps the subtree
+// cuts sound against the new fit while it does). Both measured counts
+// are recorded per variant in BENCH_search.json (make bench-search).
+const (
+	benchPricedCeiling  = 226
+	benchOfflineOptimum = 216
+)
+
+// TestColdSearchPricedCeiling is the pricing-gap regression gate: the
+// default engine (sequential, so the priced count is schedule-
+// independent and exact) must never price more than 226 candidates on
+// the reference op, with the shipped fit or a calibrated one.
+func TestColdSearchPricedCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-device cold search")
+	}
+	spec := device.IPUMK2()
+	for _, tc := range []struct {
+		name string
+		cm   *costmodel.Set
+	}{
+		{"shipped", testCM()},
+		{"calibrated", calibratedCM(t, spec)},
+	} {
+		s := New(spec, tc.cm, DefaultConstraints(), core.DefaultConfig())
+		s.Workers = 1
+		r, err := s.searchOp(context.Background(), benchColdOp())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Spaces.Priced > benchPricedCeiling {
+			t.Errorf("%s: priced %d candidates, ceiling is %d (offline optimum %d)",
+				tc.name, r.Spaces.Priced, benchPricedCeiling, benchOfflineOptimum)
+		}
+		t.Logf("%s: priced %d (offline optimum %d, residual %d)",
+			tc.name, r.Spaces.Priced, benchOfflineOptimum, r.Spaces.Priced-benchOfflineOptimum)
+	}
+}

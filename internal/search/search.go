@@ -224,6 +224,25 @@ type Searcher struct {
 	// never answer each other from the cache or the fleet tier.
 	FusionRules string
 
+	// Calibration tags the calibrated cost-model fit this searcher
+	// prices with (costmodel.Calibration.Tag(); empty when pricing with
+	// the shipped fit). Like FusionRules it is a fingerprint component,
+	// not behaviour: the predictor itself arrives through CM, but plans
+	// priced under different fits must never answer each other from any
+	// cache tier — a refit without a tag change would serve stale-model
+	// plans forever.
+	Calibration string
+
+	// SampleTap, when non-nil, receives every Pareto survivor's kernel
+	// task paired with its ground-truth per-step time after a cold
+	// search completes — the opt-in post-search measurement hook of the
+	// calibration loop. Called from whichever goroutine finishes the
+	// search, outside any searcher lock, so the tap must be cheap and
+	// safe for concurrent use (costmodel.SampleRing is). Observational
+	// only: it can never change the result, and cache hits never fire
+	// it (their plans were measured when first searched).
+	SampleTap func(task kernel.Task, measuredNs float64)
+
 	// Pool, when non-nil, is the compile-wide worker budget this
 	// searcher shares with t10.CompileModel: helper goroutines for Fop
 	// sharding (and the complete-space estimator) are spawned only when
@@ -610,6 +629,17 @@ func (s *Searcher) searchOp(ctx context.Context, e *expr.Expr) (*Result, error) 
 	}
 	r.Pareto = front.Candidates()
 	r.Spaces.Optimized = len(r.Pareto)
+	if s.SampleTap != nil {
+		// The measurement hook of the calibration loop: each selected
+		// plan's task paired with the simulator's ground truth for it
+		// (kernel.Nanoseconds is exactly what codegen charges per
+		// compute step, so this equals the simulated per-step time
+		// without paying for a lowering).
+		for i := range r.Pareto {
+			task := r.Pareto[i].Plan.KernelTask()
+			s.SampleTap(task, kernel.Nanoseconds(s.CM.Spec, task))
+		}
+	}
 	if completeCh != nil {
 		r.Spaces.Complete = <-completeCh
 	} else {
@@ -970,9 +1000,25 @@ func newSearchWorker(s *Searcher, e *expr.Expr, pred costmodel.Predictor, table 
 	w.memoPred = &memoPred{memo: w.taskMemo, pred: pred}
 	if costmodel.IsMonotone(pred) {
 		w.floor = w.memoPred
+		if fl, ok := pred.(costmodel.FloorLB); ok {
+			w.floor = floorPred{fl}
+		}
 	}
 	return w
 }
+
+// floorPred adapts the costmodel.FloorLB capability to the Predictor
+// shape the sketch bounds consume: a calibrated model's floor — fitted
+// prediction minus the observed maximum over-estimate — replaces the
+// raw prediction as the subtree compute floor. FloorNs ≤ Predict
+// everywhere, so every bound that was admissible against Predict stays
+// admissible; the floor additionally never exceeded the measured time
+// on any calibration sample. Deliberately unmemoized: FloorNs values
+// must never land in the shared Predict memo (they differ by the floor
+// offset), and the floor is priced once per Fop, not per candidate.
+type floorPred struct{ fl costmodel.FloorLB }
+
+func (p floorPred) Predict(t kernel.Task) float64 { return p.fl.FloorNs(t) }
 
 // memoPred wraps a predictor with a single-goroutine memo keyed by the
 // kernel task, and forwards the wrapped predictor's MonotoneLB

@@ -6,6 +6,7 @@ import (
 	"log"
 	"time"
 
+	"repro/internal/costmodel"
 	"repro/internal/device"
 	"repro/internal/dtype"
 	"repro/internal/expr"
@@ -129,6 +130,45 @@ func ExampleWithCostFunc() {
 	fmt.Println("plans priced by the custom kernel model:", len(r.Pareto) > 0)
 	// Output:
 	// plans priced by the custom kernel model: true
+}
+
+// Calibration closes the loop between the learned cost model and the
+// simulator's measurements. A compiler built over a SampleRing taps
+// every cold search — one (kernel task, measured time) sample per
+// Pareto survivor — and a rebuild over the filled ring refits the
+// model on those samples. The fit is construction-scoped like every
+// other cost-model change: it joins the plan-cache fingerprint, so a
+// refit compiler never answers from the old fit's records.
+func ExampleWithCalibration() {
+	ring := costmodel.NewSampleRing(costmodel.DefaultRingSize)
+	boot, err := t10.New(device.IPUMK2(), t10.DefaultOptions(),
+		t10.WithCalibration(ring))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// an empty ring means the boot compiler prices with the shipped fit
+	_, calibrated := boot.Calibration()
+	fmt.Println("boot compiler calibrated:", calibrated)
+
+	// cold searches feed the ring through the sample tap
+	if _, err := boot.Search(context.Background(), expr.MatMul("ffn", 1024, 1024, 4096, dtype.FP16)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("samples collected:", ring.Total() > 0)
+
+	// rebuilding over the filled ring refits and deploys a new fit;
+	// a serving loop does this swap atomically (see cmd/t10serve)
+	refit, err := t10.New(device.IPUMK2(), t10.DefaultOptions(),
+		t10.WithCalibration(ring))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal, calibrated := refit.Calibration()
+	fmt.Println("refit compiler calibrated:", calibrated, "version:", cal.Version)
+	// Output:
+	// boot compiler calibrated: false
+	// samples collected: true
+	// refit compiler calibrated: true version: 1
 }
 
 // Operator fusion is construction-scoped for the same reason: the rule

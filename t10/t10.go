@@ -48,6 +48,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/graph"
 	"repro/internal/interop"
+	"repro/internal/kernel"
 	"repro/internal/mathutil"
 	"repro/internal/perf"
 	"repro/internal/plancache"
@@ -215,6 +216,55 @@ func WithFusion(rules graph.RuleSet) CompilerOption {
 	}
 }
 
+// WithCalibration closes the cost model's measurement loop around this
+// compiler: every cold search records its selected plans' (kernel task,
+// ground-truth per-step time) pairs into ring, every Simulate() of an
+// executable it compiles records the simulator's measured per-step
+// compute times the same way, and — when ring already holds samples —
+// the compiler's cost models are refit over them at construction
+// (costmodel.Set.Calibrate), so pricing, the subtree compute floor and
+// the bound-ascending leaf order all run on the calibrated fit.
+//
+// Calibration is construction-scoped for the same reason custom cost
+// functions are: the fit version and θ digest join the plan-record
+// fingerprint, so a compiler built on a refit model can never answer
+// (or be answered by) plans priced under another fit — stale-model
+// records age out of the in-memory, disk and fleet tiers as counted
+// rejects. To refine online, collect into the ring and periodically
+// construct a fresh compiler from the same Options and ring (they
+// share the disk cache and worker pool safely); t10serve -calibrate
+// does exactly this.
+//
+// An empty ring only installs the measurement taps: the compiler
+// prices with the shipped fit (and the fingerprint is unchanged) until
+// a later construction finds samples to calibrate on. A nil ring is a
+// no-op.
+func WithCalibration(ring *costmodel.SampleRing) CompilerOption {
+	return WithCalibrationVersion(ring, 0)
+}
+
+// WithCalibrationVersion is WithCalibration with an explicit fit
+// version. Every Compiler owns a fresh model set, so the auto-assigned
+// version (0) restarts at 1 on each construction; an online refinement
+// loop that repeatedly rebuilds compilers over the same ring passes an
+// ascending version here so /stats (and the record fingerprints) name
+// each successive fit. version <= 0 auto-assigns.
+func WithCalibrationVersion(ring *costmodel.SampleRing, version int) CompilerOption {
+	return func(c *Compiler) {
+		if ring == nil {
+			return
+		}
+		c.calibRing = ring
+		spec := c.Spec
+		c.searcher.SampleTap = func(task kernel.Task, measuredNs float64) {
+			ring.RecordMeasured(spec, task, measuredNs)
+		}
+		if cal, err := c.CM.Calibrate(ring, version); err == nil {
+			c.searcher.Calibration = cal.Tag()
+		}
+	}
+}
+
 // Compiler compiles models for one device. It is immutable after New
 // and safe for concurrent use: every mutable structure it touches (the
 // plan cache, the in-flight search deduplication, the worker budget)
@@ -242,6 +292,28 @@ type Compiler struct {
 	// (WithFusion); the zero RuleSet means the pass is off and Compile
 	// is bit-identical to the pre-fusion pipeline.
 	fusion graph.RuleSet
+
+	// calibRing is the calibration sample ring fixed at construction
+	// (WithCalibration); nil means the measurement taps are off.
+	calibRing *costmodel.SampleRing
+}
+
+// Calibration reports the cost-model calibration this compiler prices
+// with; ok is false when it prices with the shipped (profile-time) fit
+// — including a WithCalibration compiler whose ring was still empty at
+// construction.
+func (c *Compiler) Calibration() (costmodel.Calibration, bool) {
+	return c.CM.Calibration()
+}
+
+// CalibrationSamples returns the lifetime sample count of the
+// compiler's calibration ring (0 without WithCalibration) — the gauge
+// an online refinement loop compares against its refit threshold.
+func (c *Compiler) CalibrationSamples() uint64 {
+	if c.calibRing == nil {
+		return 0
+	}
+	return c.calibRing.Total()
 }
 
 // New profiles the device, fits the cost models, applies the
@@ -442,6 +514,10 @@ type Executable struct {
 	Fusion   *graph.FusedGraph
 
 	CompileTime time.Duration
+
+	// calibRing receives the simulator's measured per-step compute
+	// times during Simulate (WithCalibration); nil means no tap.
+	calibRing *costmodel.SampleRing
 }
 
 // Compile searches every operator, reconciles memory across operators
@@ -666,6 +742,7 @@ func (c *Compiler) compileModel(reqCtx, searchCtx context.Context, m *graph.Mode
 	return &Executable{
 		Model: m, Spec: c.Spec, Schedule: sched, Plans: plans,
 		Fusion: fg, CompileTime: time.Since(start),
+		calibRing: c.calibRing,
 	}, nil
 }
 
@@ -709,6 +786,15 @@ func (e *Executable) Simulate() *perf.Report {
 			panic(fmt.Sprintf("t10: lowering validated plan failed: %v", err))
 		}
 		st := sim.Run(e.Spec, prog)
+		if e.calibRing != nil {
+			// The simulator-side tap of the calibration loop: the measured
+			// per-step compute time of the plan actually chosen, once per
+			// op per run (not ×repeat — repeats re-run the identical
+			// phases and would only duplicate the sample).
+			if per := st.PerStepComputeNs(); per > 0 {
+				e.calibRing.RecordMeasured(e.Spec, asg.Active.Plan.KernelTask(), per)
+			}
+		}
 		opRep.ComputeNs = st.ComputeNs * f
 		opRep.ExchangeNs = st.ExchangeNs * f
 		opRep.SyncNs = st.SyncNs * f
