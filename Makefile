@@ -29,11 +29,12 @@ bench:
 
 # Exercise the parallel, pruned cold-search path under the race detector
 # (one iteration — correctness smoke, not a measurement), plus the
-# serving soak: 32 parallel mixed requests whose every 200 must carry a
-# well-formed telemetry block.
+# serving soaks: 32 parallel mixed requests whose every 200 must carry a
+# well-formed telemetry block, and the 2-chip sharded soak (concurrent
+# CompileSharded partition searches sharing one compiler).
 bench-race:
 	$(GO) test -run='^$$' -bench='BenchmarkCompileOp|BenchmarkColdSearch' -benchtime=1x -race ./...
-	$(GO) test -run=TestServeSoakUnderSharedBudget -count=1 -race ./cmd/t10serve
+	$(GO) test -run='TestServeSoakUnderSharedBudget|TestServeShardedSoak' -count=1 -race ./cmd/t10serve
 
 # Real measurement of the cold-search variants; updates BENCH_search.json
 # so the perf trajectory is tracked across PRs.

@@ -106,6 +106,7 @@ func main() {
 	fusion := flag.Bool("fusion", false, "run the operator-fusion pass on every model compile (graph.DefaultRules); fused and unfused plan caches never mix — the rule set is part of the cache fingerprint")
 	calibrate := flag.Bool("calibrate", false, "close the cost-model measurement loop: record (kernel task, simulated time) samples from every cold search and simulated run, periodically refit the cost model over them and redeploy the compiler (see -calibrate-every)")
 	calibEvery := flag.Int("calibrate-every", 256, "with -calibrate: new samples accumulated between refits; each refit bumps the fit version and retires the previous fit's plan records as counted cache rejects")
+	chips := flag.Int("chips", 1, "default chip count for model compiles: > 1 partitions every model across that many chips of the device generation (pipeline cuts + tensor-parallel splits, CompileSharded); a request's own \"chips\" field overrides")
 	flag.Parse()
 
 	budget := *workers
@@ -152,9 +153,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "t10serve:", err)
 		os.Exit(1)
 	}
-	log.Printf("t10serve: listening on %s (device %s, budget %d workers, queue %d, compile timeout %v, detach-on-cancel %t (limit %d), fusion %t, calibrate %t (every %d), cache dir %q, peers %v)",
-		*addr, c.Spec.Name, budget, *queue, *timeout, *detach, dlim, *fusion, *calibrate, *calibEvery, *cacheDir, remote.Peers())
+	log.Printf("t10serve: listening on %s (device %s, chips %d, budget %d workers, queue %d, compile timeout %v, detach-on-cancel %t (limit %d), fusion %t, calibrate %t (every %d), cache dir %q, peers %v)",
+		*addr, c.Spec.Name, *chips, budget, *queue, *timeout, *detach, dlim, *fusion, *calibrate, *calibEvery, *cacheDir, remote.Peers())
 	hsrv := newServer(c, pool, *timeout)
+	hsrv.chips = *chips
 	hsrv.detach = *detach
 	hsrv.detachLimit = limiter
 	hsrv.remote = remote
@@ -208,10 +210,13 @@ const maxBodyBytes = 1 << 20
 
 // maxOpDim and maxBatch bound single-op and model requests to shapes
 // the device could conceivably hold, so a hostile request cannot make
-// the server enumerate plans for a petabyte matmul.
+// the server enumerate plans for a petabyte matmul. maxChips and
+// maxMicrobatches bound the sharded outer search the same way.
 const (
-	maxOpDim = 1 << 20
-	maxBatch = 4096
+	maxOpDim        = 1 << 20
+	maxBatch        = 4096
+	maxChips        = 64
+	maxMicrobatches = 4096
 )
 
 // server wires one compiler into the HTTP handlers. The compiler is
@@ -225,6 +230,7 @@ type server struct {
 	cur         atomic.Pointer[t10.Compiler]
 	pool        *sema.Sem         // the shared budget, for /stats and admission gauges
 	timeout     time.Duration     // per-request compile deadline; 0 = none
+	chips       int               // default chip count for model compiles (-chips; <= 1 = single-chip)
 	detach      bool              // cancelled requests warm the cache instead of wasting work
 	detachLimit *t10.DetachLimit  // cap + gauges on concurrently detached requests (nil = uncapped)
 	remote      *plancache.Remote // fleet peer tier (nil = standalone); nil-safe methods
@@ -259,6 +265,11 @@ type server struct {
 	// pass formed and source ops folded into them (always zero unless
 	// the server runs with -fusion)
 	fusedGroups, fusedOps atomic.Int64
+
+	// multi-chip scale-out counters across every sharded 200: requests
+	// answered by CompileSharded, pipeline stages in their winning
+	// partitions, and chips those partitions occupied
+	shardedCompiles, shardedStages, shardedChips atomic.Int64
 
 	// peer-facing /plans serve counters (this replica as a fleet peer)
 	planGets, planGetMisses, planPuts, planPutRejects atomic.Int64
@@ -406,6 +417,13 @@ type compileRequest struct {
 	Batch    int     `json:"batch,omitempty"`
 	Simulate bool    `json:"simulate,omitempty"`
 	Op       *opSpec `json:"op,omitempty"`
+
+	// Chips > 1 partitions the model across that many chips of the
+	// device generation (CompileSharded); 0 means the server's -chips
+	// default. Microbatches sets the pipeline depth for sharded
+	// compiles (ignored single-chip).
+	Chips        int `json:"chips,omitempty"`
+	Microbatches int `json:"microbatches,omitempty"`
 }
 
 type opSpec struct {
@@ -457,6 +475,12 @@ func parseCompileRequest(r io.Reader) (*compileRequest, error) {
 		if req.Batch > maxBatch {
 			return nil, fmt.Errorf("batch %d exceeds the %d limit", req.Batch, maxBatch)
 		}
+		if req.Chips < 0 || req.Chips > maxChips {
+			return nil, fmt.Errorf("chips %d outside [0, %d]", req.Chips, maxChips)
+		}
+		if req.Microbatches < 0 || req.Microbatches > maxMicrobatches {
+			return nil, fmt.Errorf("microbatches %d outside [0, %d]", req.Microbatches, maxMicrobatches)
+		}
 	default:
 		return nil, errors.New(`need "model" or "op"`)
 	}
@@ -483,6 +507,28 @@ type compileResponse struct {
 	LatencyMs  float64        `json:"latency_ms,omitempty"`
 	Plans      []opPlanJSON   `json:"plans"`
 	Telemetry  *telemetryJSON `json:"telemetry,omitempty"`
+
+	// multi-chip scale-out (chips > 1): the winning partition, one
+	// shard per pipeline stage. TransferMs/BubbleMs carry the simulated
+	// interconnect and pipeline-imbalance shares ("simulate": true).
+	Chips        int         `json:"chips,omitempty"`
+	Microbatches int         `json:"microbatches,omitempty"`
+	Shards       []shardJSON `json:"shards,omitempty"`
+	TransferMs   float64     `json:"transfer_ms,omitempty"`
+	BubbleMs     float64     `json:"bubble_ms,omitempty"`
+}
+
+// shardJSON is one pipeline stage of a sharded compile: which source
+// ops it holds, how many chips row-split it, and its per-shard costs.
+type shardJSON struct {
+	Stage      int     `json:"stage"`
+	StartOp    int     `json:"start_op"`
+	EndOp      int     `json:"end_op"` // exclusive
+	Ops        int     `json:"ops"`
+	Split      int     `json:"split"` // tensor-parallel ways (chips in the stage)
+	IdleMemPct float64 `json:"idle_mem_pct"`
+	GatherUs   float64 `json:"gather_us,omitempty"`  // all-gather closing a split stage
+	LatencyMs  float64 `json:"latency_ms,omitempty"` // simulated stage time ("simulate": true)
 }
 
 // telemetryJSON is the production-safe telemetry block every 200
@@ -671,6 +717,14 @@ func (s *server) compileModel(ctx context.Context, w http.ResponseWriter, req *c
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	chips := req.Chips
+	if chips <= 0 {
+		chips = s.chips
+	}
+	if chips > 1 {
+		s.compileSharded(ctx, w, req, m, c, est, chips)
+		return
+	}
 	start := time.Now()
 	cr, err := c.CompileWithResult(ctx, m, s.reqOptions(est)...)
 	if err != nil {
@@ -709,6 +763,68 @@ func (s *server) compileModel(ctx context.Context, w http.ResponseWriter, req *c
 		resp.LatencyMs = exe.Simulate().LatencyMs()
 	}
 	resp.Telemetry = s.recordTelemetry(&cr.Telemetry)
+	s.completed.Add(1)
+	s.writeJSON(w, resp)
+}
+
+// compileSharded answers a model request with chips > 1: the model is
+// partitioned across the device generation's chips (pipeline cuts +
+// tensor-parallel row splits), each stage compiled by the ordinary
+// single-chip pipeline through the same plan cache and worker budget.
+// The telemetry block aggregates every stage compile the outer search
+// priced; the shards list describes the winning partition.
+func (s *server) compileSharded(ctx context.Context, w http.ResponseWriter, req *compileRequest,
+	m *graph.Model, c *t10.Compiler, est t10.CostEstimate, chips int) {
+	opts := s.reqOptions(est)
+	if req.Microbatches > 1 {
+		opts = append(opts, t10.WithPipelineMicrobatches(req.Microbatches))
+	}
+	start := time.Now()
+	sr, err := c.CompileShardedWithResult(ctx, m, chips, opts...)
+	if err != nil {
+		s.compileError(w, fmt.Sprintf("compile %s across %d chips", req.Model, chips), err)
+		return
+	}
+	se := sr.Executable
+	part := se.Partition
+	resp := compileResponse{
+		Model:        m.Name,
+		Batch:        m.BatchSize,
+		Ops:          len(m.Ops),
+		CompileMs:    float64(time.Since(start).Microseconds()) / 1e3,
+		Chips:        part.Chips,
+		Microbatches: part.Microbatches,
+	}
+	var rep *t10.ShardedReport
+	if req.Simulate {
+		rep = se.Simulate()
+		resp.LatencyMs = rep.LatencyMs()
+		resp.TransferMs = rep.TransferNs / 1e6
+		resp.BubbleMs = rep.BubbleNs / 1e6
+	}
+	for i := range part.Stages {
+		st := &part.Stages[i]
+		sj := shardJSON{
+			Stage:      i,
+			StartOp:    st.Start,
+			EndOp:      st.End,
+			Ops:        st.End - st.Start,
+			Split:      st.Split,
+			IdleMemPct: 100 * float64(se.Stages[i].Schedule.IdleMemPerCore) / float64(c.Spec.CoreMemBytes),
+			GatherUs:   st.GatherNs / 1e3,
+		}
+		if rep != nil {
+			sj.LatencyMs = rep.Stages[i].TotalNs / 1e6
+		}
+		resp.Shards = append(resp.Shards, sj)
+		if idle := sj.IdleMemPct; idle > resp.IdleMemPct {
+			resp.IdleMemPct = idle
+		}
+	}
+	resp.Telemetry = s.recordTelemetry(&sr.Telemetry)
+	s.shardedCompiles.Add(1)
+	s.shardedStages.Add(int64(len(part.Stages)))
+	s.shardedChips.Add(int64(part.Chips))
 	s.completed.Add(1)
 	s.writeJSON(w, resp)
 }
@@ -906,6 +1022,12 @@ type statsResponse struct {
 	FusedGroups int64 `json:"fused_groups"`
 	FusedOps    int64 `json:"fused_ops"`
 
+	// multi-chip scale-out counters: sharded 200s served, pipeline
+	// stages in their winning partitions, chips those partitions used
+	ShardedCompiles int64 `json:"sharded_compiles"`
+	ShardedStages   int64 `json:"sharded_stages"`
+	ShardedChips    int64 `json:"sharded_chips"`
+
 	// per-stage latency percentiles over the last latRingSize requests
 	Latency struct {
 		AdmissionWait percentileJSON `json:"admission_wait"`
@@ -935,6 +1057,11 @@ type calibrationJSON struct {
 	MaxOverEstNs float64 `json:"max_over_est_ns"` // worst observed over-estimate → the calibrated floor's slack
 	Refits       int64   `json:"refits"`          // compiler generations redeployed
 	RefitFails   int64   `json:"refit_fails"`     // rebuilds that errored (old fit kept serving)
+
+	// Residuals is the serving fit's worst over-estimate per kernel
+	// kind (ns) — which operator families the analytic model misprices
+	// most, and so where the calibrated floor is doing its work.
+	Residuals map[string]float64 `json:"residuals,omitempty"`
 }
 
 // remoteStatsJSON is the /stats remote section: the plancache.Remote
@@ -975,6 +1102,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RouteCold:        s.routeCold.Load(),
 		FusedGroups:      s.fusedGroups.Load(),
 		FusedOps:         s.fusedOps.Load(),
+		ShardedCompiles:  s.shardedCompiles.Load(),
+		ShardedStages:    s.shardedStages.Load(),
+		ShardedChips:     s.shardedChips.Load(),
 	}
 	resp.Latency.AdmissionWait = s.latAdmission.percentiles()
 	resp.Latency.CacheProbe = s.latProbe.percentiles()
@@ -1000,6 +1130,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if cal, ok := s.compiler().Calibration(); ok {
 			cj.FitVersion = cal.Version
 			cj.MaxOverEstNs = cal.MaxOverEstNs
+			cj.Residuals = cal.Residuals
 		}
 		resp.Calibration = cj
 	}

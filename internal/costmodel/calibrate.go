@@ -26,6 +26,13 @@ import (
 // small enough that a refit over the full ring is instantaneous.
 const DefaultRingSize = 4096
 
+// DefaultRefitWindows is how many refit windows a sample stays eligible
+// for: each Set.Calibrate call closes one window, and samples recorded
+// more than this many windows ago are dropped before the fit — so a
+// workload shift refits on fresh samples only instead of averaging the
+// old workload in forever. Override per ring with SetRefitWindows.
+const DefaultRefitWindows = 4
+
 // ErrNoSamples is returned by Set.Calibrate when the ring holds no
 // samples yet — the caller keeps the shipped fit and tries again later.
 var ErrNoSamples = errors.New("costmodel: calibration ring holds no samples")
@@ -38,9 +45,12 @@ var ErrNoSamples = errors.New("costmodel: calibration ring holds no samples")
 type SampleRing struct {
 	mu    sync.Mutex
 	buf   []Sample
+	tags  []uint64 // refit window each buf entry was recorded in
 	next  int
 	n     int
 	total uint64
+	win   uint64 // current refit window; SnapshotRefit advances it
+	keep  int    // windows a sample stays eligible (0 = DefaultRefitWindows)
 }
 
 // NewSampleRing returns a ring holding at most capacity samples
@@ -49,7 +59,27 @@ func NewSampleRing(capacity int) *SampleRing {
 	if capacity <= 0 {
 		capacity = DefaultRingSize
 	}
-	return &SampleRing{buf: make([]Sample, capacity)}
+	return &SampleRing{buf: make([]Sample, capacity), tags: make([]uint64, capacity)}
+}
+
+// SetRefitWindows overrides how many refit windows a sample stays
+// eligible for (k <= 0 restores DefaultRefitWindows). Call it before
+// the first Calibrate; changing it mid-run only affects future drops.
+func (r *SampleRing) SetRefitWindows(k int) {
+	r.mu.Lock()
+	if k <= 0 {
+		k = 0
+	}
+	r.keep = k
+	r.mu.Unlock()
+}
+
+// Window returns the current refit window index: the number of
+// Set.Calibrate rounds (SnapshotRefit calls) the ring has fed so far.
+func (r *SampleRing) Window() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.win
 }
 
 // Record appends one measured sample, overwriting the oldest once the
@@ -62,6 +92,7 @@ func (r *SampleRing) Record(t kernel.Task, measuredNs float64) {
 	}
 	r.mu.Lock()
 	r.buf[r.next] = Sample{Task: t, Ns: measuredNs}
+	r.tags[r.next] = r.win
 	r.next = (r.next + 1) % len(r.buf)
 	if r.n < len(r.buf) {
 		r.n++
@@ -116,6 +147,50 @@ func (r *SampleRing) Snapshot() []Sample {
 	} else {
 		out = append(out, r.buf[:r.n]...)
 	}
+	return out
+}
+
+// SnapshotRefit is the refit's windowed input: it drops every sample
+// recorded more than the configured number of refit windows ago,
+// returns the survivors oldest-first, and advances the refit window —
+// each call closes one window. Set.Calibrate goes through here, so a
+// sample feeds at most DefaultRefitWindows (or SetRefitWindows)
+// consecutive refits before aging out; after a workload shift the
+// stale shapes stop influencing the fit within that many rounds.
+func (r *SampleRing) SnapshotRefit() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keep := r.keep
+	if keep <= 0 {
+		keep = DefaultRefitWindows
+	}
+	// The last `keep` windows at the moment of this refit are
+	// win, win-1, ..., win-keep+1.
+	thresh := int64(r.win) - int64(keep) + 1
+
+	// Walk oldest-first, compacting survivors back into the ring so the
+	// drop is physical: Len shrinks and overwritten slots free up.
+	start := 0
+	if r.n == len(r.buf) {
+		start = r.next
+	}
+	kept := make([]Sample, 0, r.n)
+	tags := make([]uint64, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		j := (start + i) % len(r.buf)
+		if int64(r.tags[j]) >= thresh {
+			kept = append(kept, r.buf[j])
+			tags = append(tags, r.tags[j])
+		}
+	}
+	copy(r.buf, kept)
+	copy(r.tags, tags)
+	r.n = len(kept)
+	r.next = r.n % len(r.buf)
+	r.win++
+
+	out := make([]Sample, len(kept))
+	copy(out, kept)
 	return out
 }
 
@@ -187,6 +262,13 @@ type Calibration struct {
 	// Digest is a short content hash of every calibrated θ and floor
 	// offset, so two distinct refits can never share a fingerprint.
 	Digest string
+	// Residuals maps operator kind (expr.OpKind.String()) to the fit's
+	// observed maximum over-estimate in ns for that kind — the per-kind
+	// drift gauge an operator watches in /stats to see which kernel
+	// model is coming apart. Read-only after Calibrate returns; the
+	// digest already covers these values, so they do not hash
+	// separately.
+	Residuals map[string]float64
 }
 
 // Tag renders the fingerprint component: empty when uncalibrated, else
@@ -218,7 +300,7 @@ func (c Calibration) Tag() string {
 // The same ring contents and version always produce bit-identical
 // models and the same Digest — calibration is deterministic.
 func (s *Set) Calibrate(ring *SampleRing, version int) (Calibration, error) {
-	samples := ring.Snapshot()
+	samples := ring.SnapshotRefit()
 	if len(samples) == 0 {
 		return Calibration{}, ErrNoSamples
 	}
@@ -233,7 +315,11 @@ func (s *Set) Calibrate(ring *SampleRing, version int) (Calibration, error) {
 	}
 
 	calibrated := make(map[expr.OpKind]*CalibratedModel, len(byKind))
-	cal := Calibration{Version: version, Samples: len(samples)}
+	cal := Calibration{
+		Version:   version,
+		Samples:   len(samples),
+		Residuals: make(map[string]float64, len(byKind)),
+	}
 	h := sha256.New()
 	hashInt := func(v int64) { binary.Write(h, binary.LittleEndian, v) }
 	hashInt(int64(version))
@@ -266,6 +352,7 @@ func (s *Set) Calibrate(ring *SampleRing, version int) (Calibration, error) {
 			MaxOverEstNs: over,
 			Refit:        refit,
 		}
+		cal.Residuals[kind.String()] = over
 		if over > cal.MaxOverEstNs {
 			cal.MaxOverEstNs = over
 		}

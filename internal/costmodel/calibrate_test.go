@@ -2,6 +2,7 @@ package costmodel
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/device"
@@ -117,6 +118,110 @@ func fillRing(spec *device.Spec, kinds []expr.OpKind, perKind int, seed int64) *
 	return r
 }
 
+// TestRefitWindowDropsStaleSamplesOnWorkloadShift drives a synthetic
+// workload shift through the windowed ring: samples feed at most K
+// consecutive refits (SetRefitWindows), are then physically dropped,
+// and a refit after the shift fits the fresh measurements only — the
+// old workload cannot drag the fit once its windows lapse.
+func TestRefitWindowDropsStaleSamplesOnWorkloadShift(t *testing.T) {
+	spec := device.IPUMK2()
+	set := MustNewSet(spec)
+	ring := NewSampleRing(256)
+	ring.SetRefitWindows(2)
+
+	// Phase 1: the old workload measures exactly at the kernel model.
+	old := ProfileSamples(spec, expr.KindMatMul, 50, 11)
+	for _, s := range old {
+		ring.Record(s.Task, s.Ns)
+	}
+	cal, err := set.Calibrate(ring, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Samples != len(old) {
+		t.Fatalf("refit 1 consumed %d samples, want %d", cal.Samples, len(old))
+	}
+	if ring.Window() != 1 {
+		t.Fatalf("window = %d after one refit, want 1", ring.Window())
+	}
+
+	// The old samples stay eligible for one more refit window…
+	if cal, err = set.Calibrate(ring, 0); err != nil || cal.Samples != len(old) {
+		t.Fatalf("refit 2: samples %d err %v, want the window-1 samples again", cal.Samples, err)
+	}
+
+	// …then age out: with nothing fresh the refit declines (keeping the
+	// previous fit) rather than refitting a workload that no longer
+	// exists, and the drop is physical.
+	if _, err := set.Calibrate(ring, 0); err != ErrNoSamples {
+		t.Fatalf("refit 3 over lapsed samples: err = %v, want ErrNoSamples", err)
+	}
+	if ring.Len() != 0 {
+		t.Fatalf("lapsed samples not dropped: ring holds %d", ring.Len())
+	}
+
+	// Phase 2: the workload shifts — same kind, new shapes, measuring
+	// 2× faster than the shipped fit predicts. The next refit must see
+	// only the fresh samples, so its predictions track the shift.
+	shift := ProfileSamples(spec, expr.KindMatMul, 60, 23)
+	for _, s := range shift {
+		ring.Record(s.Task, 0.5*s.Ns)
+	}
+	if cal, err = set.Calibrate(ring, 0); err != nil {
+		t.Fatal(err)
+	}
+	if cal.Samples != len(shift) {
+		t.Fatalf("post-shift refit consumed %d samples, want only the %d fresh ones", cal.Samples, len(shift))
+	}
+	m := set.Calibrated(expr.KindMatMul)
+	if m == nil || !m.Refit || m.SampleCount != len(shift) {
+		t.Fatalf("post-shift model = %+v, want a genuine refit over the fresh samples", m)
+	}
+	shipped := MustNewSet(spec).Resolve("probe", expr.KindMatMul)
+	probe := shift[len(shift)/2].Task
+	ratio := m.Predict(probe) / shipped.Predict(probe)
+	// A fit over fresh samples alone lands near 0.5×; old samples still
+	// mixed in would pull it toward 1×.
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Fatalf("post-shift prediction ratio = %.2f, want ~0.5 (fresh samples only)", ratio)
+	}
+}
+
+// TestCalibrationResidualsPerKind pins the per-kind drift gauge: every
+// sampled kind reports its max over-estimate, the worst of them is the
+// round's MaxOverEstNs, and unsampled kinds are absent.
+func TestCalibrationResidualsPerKind(t *testing.T) {
+	spec := device.IPUMK2()
+	set := MustNewSet(spec)
+	ring := fillRing(spec, []expr.OpKind{expr.KindMatMul, expr.KindReduce}, 100, 9300)
+	cal, err := set.Calibrate(ring, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Residuals) != 2 {
+		t.Fatalf("residuals for %d kinds, want 2: %v", len(cal.Residuals), cal.Residuals)
+	}
+	var worst float64
+	for _, kind := range []expr.OpKind{expr.KindMatMul, expr.KindReduce} {
+		r, ok := cal.Residuals[kind.String()]
+		if !ok || r < 0 {
+			t.Fatalf("no non-negative residual for %v: %v", kind, cal.Residuals)
+		}
+		if m := set.Calibrated(kind); m == nil || m.MaxOverEstNs != r {
+			t.Fatalf("%v: residual %g disagrees with the model floor offset", kind, r)
+		}
+		if r > worst {
+			worst = r
+		}
+	}
+	if worst != cal.MaxOverEstNs {
+		t.Fatalf("MaxOverEstNs = %g, want the worst per-kind residual %g", cal.MaxOverEstNs, worst)
+	}
+	if _, ok := cal.Residuals[expr.KindPool.String()]; ok {
+		t.Fatal("residual reported for a kind with no samples")
+	}
+}
+
 // TestCalibrateDeterministic is the race-gate determinism pin: the same
 // ring contents and version produce bit-identical θ and the same digest
 // on a fresh Set, every time.
@@ -128,7 +233,7 @@ func TestCalibrateDeterministic(t *testing.T) {
 	if errA != nil || errB != nil {
 		t.Fatalf("Calibrate: %v / %v", errA, errB)
 	}
-	if calA.Digest != calB.Digest || calA != calB {
+	if calA.Digest != calB.Digest || !reflect.DeepEqual(calA, calB) {
 		t.Fatalf("same ring, same version, different calibrations:\n%+v\n%+v", calA, calB)
 	}
 	setA, setB := MustNewSet(spec), MustNewSet(spec)
@@ -178,7 +283,7 @@ func TestCalibrateVersioningAndTag(t *testing.T) {
 		t.Fatalf("tags of distinct versions collide: %q", cal1.Tag())
 	}
 	got, ok := set.Calibration()
-	if !ok || got != cal2 {
+	if !ok || !reflect.DeepEqual(got, cal2) {
 		t.Fatalf("Set.Calibration() = %+v ok=%t, want the latest round", got, ok)
 	}
 	// Resolve now serves the calibrated model for the sampled kind and

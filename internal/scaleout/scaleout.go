@@ -1,0 +1,600 @@
+// Package scaleout partitions an operator graph across the chips of a
+// device generation: the multi-chip layer composed over the single-chip
+// compiler. The per-chip subproblem — compile a stage submodel onto one
+// chip — is exactly the existing pipeline (intra-op Pareto search +
+// inter-op reconciliation), reached through an opaque Compile callback;
+// this package only runs the small outer search over where to cut.
+//
+// Two partition strategies compose:
+//
+//   - Pipeline parallelism: the graph is cut into contiguous stages,
+//     one group of chips per stage, activations crossing a cut priced
+//     as inter-chip transfers over the generation's Interconnect
+//     descriptor (launch latency + bytes over link bandwidth).
+//   - Tensor parallelism: a stage assigned g > 1 chips is row-split —
+//     every op's leading spatial axis divided by g, weights replicated
+//     — and closes with an all-gather of its boundary outputs, priced
+//     by the topology's hop count.
+//
+// Candidates are priced from the per-chip compiles plus the transfer
+// model, with a pipeline bubble term charging stage imbalance when the
+// batch is split into microbatches. The caller re-prices the top
+// candidates with simulated stage times (Partition.Price) and picks the
+// winner, so the analytic model only has to rank, not predict.
+package scaleout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/expr"
+	"repro/internal/graph"
+)
+
+// Compile is the per-chip leaf of the outer search: compile one stage
+// submodel for a single chip and return an opaque handle (the caller's
+// executable) plus the priced end-to-end time of the stage's schedule.
+// An error means the stage does not fit one chip — a legal outcome that
+// prunes the candidate, not a search failure.
+type Compile func(m *graph.Model) (handle any, pricedNs float64, err error)
+
+// Config bounds the partition search.
+type Config struct {
+	// NChips is how many chips of the generation are available. A
+	// partition may use fewer when the transfer cost outweighs the
+	// parallelism.
+	NChips int
+
+	// Microbatches is the pipeline depth M: the batch is split into M
+	// equal microbatches so stages overlap, at the price of the bubble
+	// term. <= 1 means no pipelining (pure latency: one batch walks the
+	// stages in sequence).
+	Microbatches int
+
+	// MaxSplit caps the tensor-parallel ways per stage (0 = NChips).
+	MaxSplit int
+
+	// TopK is how many priced candidates Search returns for the caller
+	// to re-price by simulation (0 = 3).
+	TopK int
+
+	// MaxEnum bounds how many cut vectors are enumerated per stage
+	// count before falling back to FLOP-balanced cut windows (0 = 4096).
+	MaxEnum int
+}
+
+// Stage is one pipeline stage of a partition: ops [Start,End) of the
+// source model, row-split Split ways, compiled for a single chip.
+type Stage struct {
+	Start, End int
+	Split      int
+
+	// Model is the per-chip stage submodel (split applied, cross-cut
+	// sources remapped to External).
+	Model *graph.Model
+
+	// Handle is whatever the Compile callback returned for Model.
+	Handle any
+
+	// ComputeNs is the priced per-chip time of one full inference
+	// through this stage (the stage schedule's end-to-end time).
+	ComputeNs float64
+
+	// GatherBytes is the boundary-output volume a Split-way stage must
+	// all-gather per inference (0 when Split == 1); GatherNs prices it.
+	GatherBytes int64
+	GatherNs    float64
+}
+
+// Boundary is one pipeline cut crossing: an activation tensor produced
+// in stage From and consumed in stage To.
+type Boundary struct {
+	From, To  int // stage indices
+	Op, Input int // consumer op (source-model index) and input slot
+	Bytes     int64
+	Crossings int     // transfers per inference (the consumer op's Repeat)
+	Ns        float64 // priced per-inference transfer time
+}
+
+// Partition is one priced candidate: a full assignment of the model to
+// chips.
+type Partition struct {
+	Stages     []Stage
+	Boundaries []Boundary
+
+	// Chips is Σ stage splits — how many chips the partition uses.
+	Chips        int
+	Microbatches int
+
+	// ComputeNs is Σ per-stage priced time; TransferNs is Σ boundary +
+	// gather time; BubbleNs is the imbalance share of the steady-state
+	// term; TotalNs is the priced end-to-end pipeline time.
+	ComputeNs  float64
+	TransferNs float64
+	BubbleNs   float64
+	TotalNs    float64
+}
+
+// Result is the outcome of one partition search.
+type Result struct {
+	// Best is Candidates[0].
+	Best *Partition
+
+	// Candidates holds the top-K feasible partitions, best priced
+	// first. Re-price them with simulated stage times (Partition.Price)
+	// before committing — the analytic model ranks, the simulator
+	// decides.
+	Candidates []*Partition
+
+	// Enumerated counts partitions priced; Infeasible counts those
+	// rejected because a stage did not fit one chip (or an op could not
+	// be row-split); CappedCuts reports that at least one stage count
+	// fell back to FLOP-balanced cut windows instead of full
+	// enumeration.
+	Enumerated int
+	Infeasible int
+	CappedCuts bool
+}
+
+// InfeasibleError reports that no candidate partition fit the chips:
+// every enumerated candidate had a stage that failed to compile. Err
+// holds the last per-stage failure as a sample cause.
+type InfeasibleError struct {
+	NChips int
+	Tried  int
+	Err    error
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("scaleout: no feasible partition across %d chips (%d candidates tried): %v",
+		e.NChips, e.Tried, e.Err)
+}
+
+func (e *InfeasibleError) Unwrap() error { return e.Err }
+
+// SplitExpr returns a copy of e with its leading spatial axis divided
+// by ways — the tensor-parallel row split. ok is false when the split
+// is invalid: no spatial axis, size not divisible, the axis appears in
+// a compound dimension (a conv halo would need exchange this model
+// does not price), a strided dimension, or a fused expression (splits
+// happen before fusion; model ops are always unfused).
+func SplitExpr(e *expr.Expr, ways int) (*expr.Expr, bool) {
+	if ways <= 1 {
+		cp := *e
+		return &cp, true
+	}
+	if e.FusedOps != 0 || len(e.ChainAxes) > 0 {
+		return nil, false
+	}
+	lead := -1
+	for i := range e.Axes {
+		if e.Axes[i].Kind == expr.Spatial {
+			lead = i
+			break
+		}
+	}
+	if lead < 0 || e.Axes[lead].Size%ways != 0 {
+		return nil, false
+	}
+	refs := append([]expr.TensorRef{e.Output}, e.Inputs...)
+	for _, t := range refs {
+		for _, d := range t.Dims {
+			if !d.HasAxis(lead) {
+				continue
+			}
+			if d.Compound() || d.Terms[0].Stride != 1 {
+				return nil, false
+			}
+		}
+	}
+	cp := *e
+	cp.Axes = append([]expr.Axis(nil), e.Axes...)
+	cp.Axes[lead].Size /= ways
+	return &cp, true
+}
+
+// StageModel builds the per-chip submodel for ops [start,end) of m,
+// row-split `split` ways: cross-cut activation sources become External
+// (they arrive over the interconnect), weights keep their slots, and
+// every op's expression is split. ok is false when any op refuses the
+// split.
+func StageModel(m *graph.Model, start, end, split int) (*graph.Model, bool) {
+	ops := make([]graph.Op, end-start)
+	for i := start; i < end; i++ {
+		o := m.Ops[i]
+		e, ok := SplitExpr(o.Expr, split)
+		if !ok {
+			return nil, false
+		}
+		src := make([]int, len(o.Sources))
+		for j, s := range o.Sources {
+			if s >= start && s < end {
+				src[j] = s - start
+			} else {
+				src[j] = graph.External
+			}
+		}
+		ops[i-start] = graph.Op{
+			Name: o.Name, Expr: e,
+			WeightInputs: append([]int(nil), o.WeightInputs...),
+			Sources:      src,
+			Repeat:       o.Repeat,
+		}
+	}
+	name := m.Name
+	if split > 1 {
+		name = fmt.Sprintf("%s[%d:%d)/%d", m.Name, start, end, split)
+	} else if start != 0 || end != len(m.Ops) {
+		name = fmt.Sprintf("%s[%d:%d)", m.Name, start, end)
+	}
+	return &graph.Model{Name: name, BatchSize: m.BatchSize, Ops: ops}, true
+}
+
+func repeatOf(o *graph.Op) int {
+	if o.Repeat <= 0 {
+		return 1
+	}
+	return o.Repeat
+}
+
+// Price computes the pipeline totals of the partition from the given
+// per-stage per-inference compute times (index-aligned with Stages) —
+// priced times during the search, simulated times when the caller
+// re-prices the finalists. It does not mutate the partition.
+//
+// The model: the batch splits into M equal microbatches, so one
+// microbatch spends u_s = stageNs[s]/M + gather_s in stage s and x_b on
+// boundary b. The first microbatch fills the pipeline (Σ u + Σ x); each
+// of the remaining M−1 drains one bottleneck interval behind it
+// (steady-state serialization on the slowest stage or link). The
+// bubble is the imbalance share of that steady-state term: with
+// perfectly balanced stages it is zero, and every nanosecond a stage
+// sits above the mean is charged M−1 times.
+func (p *Partition) Price(stageNs []float64) (total, transfer, bubble float64) {
+	m := p.Microbatches
+	if m < 1 {
+		m = 1
+	}
+	fm := float64(m)
+	var fill, bottleneck, sum float64
+	n := 0
+	for s := range p.Stages {
+		u := stageNs[s]/fm + p.Stages[s].GatherNs/fm
+		fill += u
+		sum += u
+		n++
+		if u > bottleneck {
+			bottleneck = u
+		}
+		transfer += p.Stages[s].GatherNs
+	}
+	for _, b := range p.Boundaries {
+		x := b.Ns / fm
+		fill += x
+		sum += x
+		n++
+		if x > bottleneck {
+			bottleneck = x
+		}
+		transfer += b.Ns
+	}
+	total = fill + float64(m-1)*bottleneck
+	if m > 1 && n > 0 {
+		bubble = float64(m-1) * (bottleneck - sum/float64(n))
+		if bubble < 0 {
+			bubble = 0
+		}
+	}
+	return total, transfer, bubble
+}
+
+// Search enumerates partitions of m across cfg.NChips chips of a
+// generation with interconnect ic, prices each candidate through the
+// Compile callback plus the transfer model, and returns the top
+// candidates. Stage compiles are memoized by (start, end, split), so
+// the N² stage ranges behind the cut enumeration compile once each —
+// and the single-chip plan cache underneath makes repeated op shapes
+// warm across stages.
+func Search(m *graph.Model, ic device.Interconnect, cfg Config, compile Compile) (*Result, error) {
+	nOps := len(m.Ops)
+	if nOps == 0 {
+		return nil, fmt.Errorf("scaleout: empty model")
+	}
+	if cfg.NChips < 1 {
+		return nil, fmt.Errorf("scaleout: need at least one chip, got %d", cfg.NChips)
+	}
+	maxSplit := cfg.MaxSplit
+	if maxSplit <= 0 || maxSplit > cfg.NChips {
+		maxSplit = cfg.NChips
+	}
+	topK := cfg.TopK
+	if topK <= 0 {
+		topK = 3
+	}
+	maxEnum := cfg.MaxEnum
+	if maxEnum <= 0 {
+		maxEnum = 4096
+	}
+	micro := cfg.Microbatches
+	if micro < 1 {
+		micro = 1
+	}
+
+	// memoized per-chip stage compiles
+	type stageKey struct{ start, end, split int }
+	type stageVal struct {
+		model  *graph.Model
+		handle any
+		ns     float64
+		err    error
+	}
+	memo := map[stageKey]*stageVal{}
+	compileStage := func(start, end, split int) *stageVal {
+		k := stageKey{start, end, split}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		v := &stageVal{}
+		memo[k] = v
+		sm, ok := StageModel(m, start, end, split)
+		if !ok {
+			v.err = fmt.Errorf("stage %s[%d:%d): op not row-splittable %d ways", m.Name, start, end, split)
+			return v
+		}
+		v.model = sm
+		v.handle, v.ns, v.err = compile(sm)
+		return v
+	}
+
+	res := &Result{}
+	var lastErr error
+	var candidates []*Partition
+
+	// tryPartition prices one (cuts, splits) candidate; cuts are the S-1
+	// stage boundaries (exclusive op indices), ascending.
+	tryPartition := func(cuts []int, splits []int) {
+		res.Enumerated++
+		S := len(splits)
+		bounds := make([]int, 0, S+1)
+		bounds = append(bounds, 0)
+		bounds = append(bounds, cuts...)
+		bounds = append(bounds, nOps)
+
+		p := &Partition{Microbatches: micro}
+		for s := 0; s < S; s++ {
+			sv := compileStage(bounds[s], bounds[s+1], splits[s])
+			if sv.err != nil {
+				res.Infeasible++
+				lastErr = sv.err
+				return
+			}
+			st := Stage{
+				Start: bounds[s], End: bounds[s+1], Split: splits[s],
+				Model: sv.model, Handle: sv.handle, ComputeNs: sv.ns,
+			}
+			if splits[s] > 1 {
+				// all-gather closing a tensor-parallel stage: each chip
+				// holds 1/g of every boundary output and needs the rest
+				hops := float64(ic.GatherHops(splits[s]))
+				for i := bounds[s]; i < bounds[s+1]; i++ {
+					if !leavesStage(m, i, bounds[s+1]) {
+						continue
+					}
+					o := &m.Ops[i]
+					bytes := o.Expr.TensorBytes(o.Expr.Output)
+					part := bytes * int64(splits[s]-1) / int64(splits[s])
+					st.GatherBytes += part
+					st.GatherNs += hops * ic.TransferNs(part) * float64(repeatOf(o))
+				}
+			}
+			p.Stages = append(p.Stages, st)
+			p.Chips += splits[s]
+			p.ComputeNs += st.ComputeNs
+		}
+
+		// pipeline boundaries: activations crossing a cut, one hop
+		// (pipeline neighbours are adjacent on every topology)
+		for s := 1; s < S; s++ {
+			for i := bounds[s]; i < bounds[s+1]; i++ {
+				o := &m.Ops[i]
+				for j, src := range o.Sources {
+					if src == graph.External || o.IsWeight(j) || src >= bounds[s] {
+						continue
+					}
+					bytes := o.Expr.TensorBytes(o.Expr.Inputs[j])
+					b := Boundary{
+						From: stageOf(bounds, src), To: s,
+						Op: i, Input: j, Bytes: bytes,
+						Crossings: repeatOf(o),
+					}
+					b.Ns = float64(b.Crossings) * ic.TransferNs(bytes)
+					p.Boundaries = append(p.Boundaries, b)
+				}
+			}
+		}
+
+		stageNs := make([]float64, S)
+		for s := range p.Stages {
+			stageNs[s] = p.Stages[s].ComputeNs
+		}
+		p.TotalNs, p.TransferNs, p.BubbleNs = p.Price(stageNs)
+		candidates = append(candidates, p)
+	}
+
+	maxStages := cfg.NChips
+	if maxStages > nOps {
+		maxStages = nOps
+	}
+	for S := 1; S <= maxStages; S++ {
+		cuts, capped := enumerateCuts(m, S, maxEnum)
+		res.CappedCuts = res.CappedCuts || capped
+		splitVecs := enumerateSplits(S, cfg.NChips, maxSplit)
+		for _, cv := range cuts {
+			for _, gv := range splitVecs {
+				tryPartition(cv, gv)
+			}
+		}
+	}
+
+	if len(candidates) == 0 {
+		return nil, &InfeasibleError{NChips: cfg.NChips, Tried: res.Enumerated, Err: lastErr}
+	}
+	sort.SliceStable(candidates, func(i, j int) bool {
+		if candidates[i].TotalNs != candidates[j].TotalNs {
+			return candidates[i].TotalNs < candidates[j].TotalNs
+		}
+		// deterministic tie-break: fewer chips, then fewer stages
+		if candidates[i].Chips != candidates[j].Chips {
+			return candidates[i].Chips < candidates[j].Chips
+		}
+		return len(candidates[i].Stages) < len(candidates[j].Stages)
+	})
+	if len(candidates) > topK {
+		candidates = candidates[:topK]
+	}
+	res.Candidates = candidates
+	res.Best = candidates[0]
+	return res, nil
+}
+
+// leavesStage reports whether op i's output is consumed outside
+// [.., end) — or is the model output (the last op).
+func leavesStage(m *graph.Model, i, end int) bool {
+	if i == len(m.Ops)-1 {
+		return true
+	}
+	for k := end; k < len(m.Ops); k++ {
+		o := &m.Ops[k]
+		for j, src := range o.Sources {
+			if src == i && !o.IsWeight(j) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stageOf maps a source-model op index to its stage under bounds.
+func stageOf(bounds []int, op int) int {
+	for s := 0; s < len(bounds)-1; s++ {
+		if op >= bounds[s] && op < bounds[s+1] {
+			return s
+		}
+	}
+	return len(bounds) - 2
+}
+
+// enumerateCuts returns the cut vectors (S-1 ascending op indices in
+// [1,nOps)) for S stages. Full enumeration when it fits the budget;
+// otherwise a FLOP-balanced fallback: each cut is confined to a ±2
+// window around the position where the cumulative FLOP share reaches
+// its stage fraction, which keeps the candidate count bounded while
+// still covering the near-balanced region where good pipelines live.
+func enumerateCuts(m *graph.Model, S, maxEnum int) ([][]int, bool) {
+	nOps := len(m.Ops)
+	if S == 1 {
+		return [][]int{nil}, false
+	}
+	if binomial(nOps-1, S-1) <= maxEnum {
+		var out [][]int
+		cur := make([]int, 0, S-1)
+		var rec func(next int)
+		rec = func(next int) {
+			if len(cur) == S-1 {
+				out = append(out, append([]int(nil), cur...))
+				return
+			}
+			// leave room for the remaining cuts
+			for c := next; c <= nOps-(S-1-len(cur)); c++ {
+				cur = append(cur, c)
+				rec(c + 1)
+				cur = cur[:len(cur)-1]
+			}
+		}
+		rec(1)
+		return out, false
+	}
+
+	// balanced-window fallback
+	prefix := make([]float64, nOps+1)
+	for i := range m.Ops {
+		prefix[i+1] = prefix[i] + float64(m.Ops[i].Expr.FLOPs()*int64(repeatOf(&m.Ops[i])))
+	}
+	total := prefix[nOps]
+	const w = 2
+	windows := make([][]int, S-1)
+	for c := 1; c < S; c++ {
+		target := total * float64(c) / float64(S)
+		pos := 1
+		for pos < nOps && prefix[pos] < target {
+			pos++
+		}
+		for d := -w; d <= w; d++ {
+			if p := pos + d; p >= 1 && p <= nOps-1 {
+				windows[c-1] = append(windows[c-1], p)
+			}
+		}
+	}
+	var out [][]int
+	cur := make([]int, 0, S-1)
+	var rec func(ci int)
+	rec = func(ci int) {
+		if ci == S-1 {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for _, p := range windows[ci] {
+			if len(cur) > 0 && p <= cur[len(cur)-1] {
+				continue
+			}
+			cur = append(cur, p)
+			rec(ci + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out, true
+}
+
+// enumerateSplits returns every per-stage chip assignment: g_s in
+// [1,maxSplit], Σ g_s ≤ nChips (a partition may leave chips idle).
+func enumerateSplits(S, nChips, maxSplit int) [][]int {
+	var out [][]int
+	cur := make([]int, 0, S)
+	var rec func(used int)
+	rec = func(used int) {
+		if len(cur) == S {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		remaining := S - len(cur) - 1 // stages after this one need ≥1 chip each
+		for g := 1; g <= maxSplit && used+g+remaining <= nChips; g++ {
+			cur = append(cur, g)
+			rec(used + g)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// binomial returns C(n,k), saturating at math.MaxInt to stay safe for
+// budget comparisons.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+		if r > float64(math.MaxInt/2) {
+			return math.MaxInt / 2
+		}
+	}
+	return int(r + 0.5)
+}

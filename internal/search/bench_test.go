@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -52,6 +53,10 @@ func benchFusedOp() *expr.Expr {
 //	            cost model (and its calibrated floor): tracks how far
 //	            calibration closes the priced-candidates gap to the 216
 //	            offline ceiling (see TestColdSearchPricedCeiling)
+//	bigcore   — the default engine on the SP2-STRESS generation
+//	            (147,456 cores): the partition-count stress case, where
+//	            the factor enumeration behind fop grows with the core
+//	            count (see TestBigCoreColdSearchCeiling)
 //
 // All variants select bit-identical Pareto plans (TestSearchEquivalence).
 // With BENCH_SEARCH_JSON set, each variant records its numbers into that
@@ -65,6 +70,7 @@ func BenchmarkColdSearch(b *testing.B) {
 		telemetry  bool
 		fused      bool
 		calibrated bool
+		bigcore    bool
 	}{
 		{name: "seq", workers: 1, noPrune: true},
 		{name: "par", noPrune: true},
@@ -73,14 +79,19 @@ func BenchmarkColdSearch(b *testing.B) {
 		{name: "telemetry", telemetry: true},
 		{name: "fused", fused: true},
 		{name: "calibrated", calibrated: true},
+		{name: "bigcore", bigcore: true},
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
+			spec := device.IPUMK2()
+			if v.bigcore {
+				spec = device.SP2Stress()
+			}
 			cm := testCM()
 			if v.calibrated {
-				cm = calibratedCM(b, device.IPUMK2())
+				cm = calibratedCM(b, spec)
 			}
-			s := New(device.IPUMK2(), cm, DefaultConstraints(), core.DefaultConfig())
+			s := New(spec, cm, DefaultConstraints(), core.DefaultConfig())
 			s.Workers, s.NoPrune, s.NoSubtree = v.workers, v.noPrune, v.noSubtree
 			e := benchColdOp()
 			if v.fused {
@@ -108,6 +119,42 @@ func BenchmarkColdSearch(b *testing.B) {
 			recordBench(b, v.name, r)
 		})
 	}
+}
+
+// TestBigCoreColdSearchCeiling pins the stress-generation cold search:
+// on SP2-STRESS (147,456 cores — two orders of magnitude more
+// partition factors than MK2) the sequential engine must stay within a
+// pinned wall-clock and priced-candidate ceiling. The seed measures
+// ~37ms / 504 priced; the ceilings are generous (5s / 560) so only an
+// algorithmic regression — the factor enumeration going super-linear
+// in the core count, the subtree cuts losing their grip — trips them,
+// not a slow runner.
+func TestBigCoreColdSearchCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-device cold search on the stress generation")
+	}
+	const (
+		wallCeiling   = 5 * time.Second
+		pricedCeiling = 560
+	)
+	s := New(device.SP2Stress(), testCM(), DefaultConstraints(), core.DefaultConfig())
+	s.Workers = 1 // sequential: the priced count is schedule-independent and exact
+	start := time.Now()
+	r, err := s.searchOp(context.Background(), benchColdOp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	if wall > wallCeiling {
+		t.Errorf("bigcore cold search took %v, ceiling %v", wall, wallCeiling)
+	}
+	if r.Spaces.Priced > pricedCeiling {
+		t.Errorf("bigcore cold search priced %d candidates, ceiling %d", r.Spaces.Priced, pricedCeiling)
+	}
+	if len(r.Pareto) == 0 {
+		t.Fatal("bigcore cold search found no plans")
+	}
+	t.Logf("bigcore: %v wall, %d priced, %d pareto", wall, r.Spaces.Priced, len(r.Pareto))
 }
 
 // recordBench merges one variant's numbers into the JSON perf log named

@@ -50,7 +50,16 @@ import (
 // carries), and estimates in a record may come from a refit model — so
 // a v6 record describes plans priced by a fit this builder cannot name.
 // Bump plancache.DefaultBuilder together with this constant.
-const resultFormat = 7
+//
+// v8: device generations landed. The fingerprint gained an explicit
+// generation component (Spec.GenerationKey: generation name + inter-chip
+// interconnect descriptor) so plans can never cross device generations
+// even when two specs share all per-core numbers, and the Spec itself
+// grew the Interconnect field the scale-out partitioner prices transfers
+// against — so a v7 record was keyed by a spec this builder renders
+// differently. Bump plancache.DefaultBuilder together with this
+// constant.
+const resultFormat = 8
 
 // fingerprint derives the content-addressed cache key for one operator
 // search. It covers everything the search outcome depends on: the
@@ -72,6 +81,11 @@ func (s *Searcher) fingerprint(e *expr.Expr) plancache.Key {
 	}
 	return plancache.Fingerprint(
 		fmt.Sprintf("t10-plan-v%d", resultFormat),
+		// the generation component is explicit (not only implied by the
+		// %#v spec dump) so cached plans can never cross device
+		// generations, even for synthetic specs sharing every per-core
+		// number but differing in name or inter-chip fabric
+		"gen="+s.Spec.GenerationKey(),
 		fmt.Sprintf("%#v", *s.Spec),
 		fmt.Sprintf("cons|par=%g|pad=%g|ft=%d", s.Cons.ParallelismMin, s.Cons.PaddingMin, s.Cons.MaxFtCombos),
 		fmt.Sprintf("cfg|shiftbuf=%d", s.Cfg.ShiftBufBytes),

@@ -412,3 +412,86 @@ func TestCalibrationTagSeparatesFingerprints(t *testing.T) {
 		t.Fatalf("calibration tags do not separate cache keys: plain=%s a=%s b=%s", kPlain, kA, kB)
 	}
 }
+
+// TestStaleV7BuilderRecordOverwrittenUnderV8 is the v7→v8 upgrade
+// regression for the device-generation release: a record sealed by the
+// pre-generation pipeline's builder ("t10-builder/7") — valid JSON
+// under a valid MAC for that era, keyed by a spec that had no
+// generation component or interconnect descriptor — must be a counted
+// reject+miss for a v8 reader, trigger a fresh search, and be
+// overwritten in place with a v8-sealed record the old builder in turn
+// refuses to load.
+func TestStaleV7BuilderRecordOverwrittenUnderV8(t *testing.T) {
+	dir := t.TempDir()
+	e := expr.MatMul("mm", 256, 512, 512, dtype.FP16)
+	s := newSearcher()
+	s.SetCache(plancache.New(plancache.Options{Dir: dir}))
+	key := s.fingerprint(e)
+
+	// seed the record exactly as a pre-generation deployment would
+	// have: one decodable-looking plan, sealed by the v7 builder
+	v7 := plancache.New(plancache.Options{Dir: dir, Builder: "t10-builder/7"})
+	stale := `{"format":7,"op":"mm","pareto":[{"fop":[1,1,1],"fts":[null,null,null],` +
+		`"est":{"TotalNs":1,"MemPerCore":1}}],"complete":"1","filtered":1,"optimized":1}`
+	if err := v7.PutBlob(key, []byte(stale)); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := s.SearchOp(e)
+	if err != nil {
+		t.Fatalf("v7-sealed record must be a miss, got error: %v", err)
+	}
+	if len(r.Pareto) < 2 || r.Spaces.Filtered <= 1 {
+		t.Fatalf("got the v7 record's content back (pareto %d, filtered %d), want a fresh search",
+			len(r.Pareto), r.Spaces.Filtered)
+	}
+	st := s.Cache().Stats()
+	if st.DiskRejects < 1 || st.DiskMisses < 1 {
+		t.Fatalf("stats = %+v, want the stale builder counted as reject+miss", st)
+	}
+	if st.DiskWrites != 1 {
+		t.Fatalf("stats = %+v, want exactly one overwrite", st)
+	}
+
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("want 1 cache file, got %v", files)
+	}
+	payload, ok := plancache.New(plancache.Options{Dir: dir}).GetBlob(key)
+	if !ok {
+		t.Fatal("overwritten record does not pass the v8 provenance check")
+	}
+	if _, err := decodeResult(e, s.Cfg, payload); err != nil {
+		t.Fatalf("overwritten record does not decode: %v", err)
+	}
+	if _, ok := plancache.New(plancache.Options{Dir: dir, Builder: "t10-builder/7"}).GetBlob(key); ok {
+		t.Fatal("the v7 builder loaded a v8-sealed record; builder provenance is not separating eras")
+	}
+}
+
+// TestGenerationSeparatesFingerprints pins the cache-key half of the
+// device-generation release: searchers targeting different generations
+// of the line must never answer each other — including two specs that
+// share every per-core number and differ only in the inter-chip
+// interconnect descriptor, which only the explicit gen= component
+// separates from the pre-v8 key's point of view.
+func TestGenerationSeparatesFingerprints(t *testing.T) {
+	e := expr.MatMul("mm", 256, 512, 512, dtype.FP16)
+	keys := map[plancache.Key]string{}
+	for _, spec := range device.Generations() {
+		s := New(spec, testCM(), DefaultConstraints(), core.DefaultConfig())
+		k := s.fingerprint(e)
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("generations %s and %s share cache key %s", prev, spec.Name, k)
+		}
+		keys[k] = spec.Name
+	}
+	// same chip, different fabric: still a different generation
+	fast := device.IPUMK2()
+	fast.Interconnect.LinkGBps *= 2
+	sA := New(device.IPUMK2(), testCM(), DefaultConstraints(), core.DefaultConfig())
+	sB := New(fast, testCM(), DefaultConstraints(), core.DefaultConfig())
+	if sA.fingerprint(e) == sB.fingerprint(e) {
+		t.Fatal("interconnect change did not separate cache keys")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/models"
 	"repro/internal/plancache"
+	"repro/internal/scaleout"
 	"repro/internal/search"
 	"repro/internal/sema"
 	"repro/t10"
@@ -44,6 +45,7 @@ var (
 	_ func() t10.CompileOption                            = t10.WithDetachOnCancel
 	_ func(t10.TelemetryLevel) t10.CompileOption          = t10.WithTelemetry
 	_ func(t10.DebugLevel) t10.CompileOption              = t10.WithDebug
+	_ func(int) t10.CompileOption                         = t10.WithPipelineMicrobatches
 	_ func(int) *t10.DetachLimit                          = t10.NewDetachLimit
 
 	// v2 entry points
@@ -54,6 +56,23 @@ var (
 	_ func(*t10.Compiler, *graph.Model) (t10.CostEstimate, error)                                          = (*t10.Compiler).EstimateCost
 	_ func(*t10.Compiler, *expr.Expr) (t10.CostEstimate, error)                                            = (*t10.Compiler).EstimateOpCost
 	_ func(t10.CostEstimate, int) int                                                                      = t10.CostEstimate.Weight
+
+	// multi-chip scale-out surface
+	_ func(*t10.Compiler, context.Context, *graph.Model, int, ...t10.CompileOption) (*t10.ShardedExecutable, error) = (*t10.Compiler).CompileSharded
+	_ func(*t10.Compiler, context.Context, *graph.Model, int, ...t10.CompileOption) (*t10.ShardedResult, error)     = (*t10.Compiler).CompileShardedWithResult
+	_ func(*t10.ShardedExecutable) *t10.ShardedReport                                                               = (*t10.ShardedExecutable).Simulate
+	_ func(*t10.ShardedExecutable) int                                                                              = (*t10.ShardedExecutable).Chips
+	_ func(*t10.ShardedReport) float64                                                                              = (*t10.ShardedReport).LatencyMs
+
+	// parameterized device generations and the inter-chip fabric
+	_ func() []*device.Spec                    = device.Generations
+	_ func(string) (*device.Spec, bool)        = device.Generation
+	_ func() *device.Spec                      = device.SP2Stress
+	_ func(*device.Spec) string                = (*device.Spec).GenerationKey
+	_ func(*device.Spec) int                   = (*device.Spec).AMPGranuleBytes
+	_ func(device.Interconnect, int64) float64 = device.Interconnect.TransferNs
+	_ func(device.Interconnect, int) int       = device.Interconnect.GatherHops
+	_ func(*device.SpecError) string           = (*device.SpecError).Error
 
 	// telemetry surface
 	_ func(*t10.Telemetry) time.Duration = (*t10.Telemetry).StageSum
@@ -121,6 +140,25 @@ var (
 		Schedule: nil, Plans: nil, Fusion: (*graph.FusedGraph)(nil),
 		CompileTime: 0,
 	}
+
+	// the sharded result surface and the fabric descriptor
+	_ = t10.ShardedExecutable{
+		Model: (*graph.Model)(nil), Spec: (*device.Spec)(nil),
+		Partition: (*scaleout.Partition)(nil), Stages: []*t10.Executable(nil),
+		CompileTime: 0,
+	}
+	_ = t10.ShardedReport{
+		Model: "", Stages: nil,
+		ComputeNs: 0, TransferNs: 0, BubbleNs: 0, TotalNs: 0,
+	}
+	_ = t10.ShardedResult{
+		Executable: (*t10.ShardedExecutable)(nil),
+		Search:     (*scaleout.Result)(nil),
+		Telemetry:  t10.Telemetry{},
+	}
+	_ = device.Interconnect{LinkGBps: 0, LatencyNs: 0, Topology: device.TopoRing}
+	_ = []device.Topology{device.TopoRing, device.TopoMesh2D, device.TopoAllToAll}
+	_ = device.SpecError{Device: "", Field: "", Reason: ""}
 )
 
 // TestAPICheck is the one runtime pass: a tiny device, one op, every
@@ -168,5 +206,12 @@ func TestAPICheck(t *testing.T) {
 	}
 	if c.PlanCache() == nil || c.CacheStats().Entries == 0 {
 		t.Fatal("cache observability broken")
+	}
+	se, err := c.CompileSharded(context.Background(), m, 2, t10.WithPipelineMicrobatches(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.Chips() < 1 || se.Simulate().TotalNs <= 0 {
+		t.Fatal("sharded compile broken")
 	}
 }

@@ -216,6 +216,40 @@ func ExampleWithFusion() {
 	// source ops folded: 3
 }
 
+// CompileSharded scales a model past one chip: the graph is partitioned
+// across N chips of the device generation — pipeline cuts between
+// operators, tensor-parallel row splits within a stage — with each
+// stage compiled by the ordinary single-chip pipeline and the
+// inter-chip activations priced from the generation's Interconnect
+// descriptor. Selection is by simulation over a candidate set that
+// always includes the whole model on one chip, so sharding can never
+// lose to not sharding.
+func ExampleCompiler_CompileSharded() {
+	c, err := t10.New(device.IPUMK2(), t10.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := models.BERT(1)
+	se, err := c.CompileSharded(context.Background(), m, 2,
+		t10.WithPipelineMicrobatches(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stages cover the model:", len(se.Stages) >= 1)
+	fmt.Println("within the chip budget:", se.Chips() <= 2)
+
+	plain, err := c.Compile(context.Background(), m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := se.Simulate()
+	fmt.Println("no worse than one chip:", rep.TotalNs <= plain.Simulate().TotalNs)
+	// Output:
+	// stages cover the model: true
+	// within the chip budget: true
+	// no worse than one chip: true
+}
+
 // EstimateCost prices a request before compiling it — cache probes plus
 // rule-filtered space sizes, no search — so a server can weight
 // admission by predicted cost instead of charging every request one

@@ -9,10 +9,11 @@ type CompileOption func(*reqOptions)
 
 // reqOptions is the resolved per-request policy.
 type reqOptions struct {
-	weight    int  // admission slots on a shared pool; 0 = cache-probe fast path
-	detach    bool // finish + cache in-flight op searches on cancellation
-	telemetry TelemetryLevel
-	debug     DebugLevel
+	weight       int  // admission slots on a shared pool; 0 = cache-probe fast path
+	detach       bool // finish + cache in-flight op searches on cancellation
+	telemetry    TelemetryLevel
+	debug        DebugLevel
+	microbatches int // pipeline depth for CompileSharded; <= 1 = no pipelining
 }
 
 func resolveReqOptions(opts []CompileOption) reqOptions {
@@ -72,6 +73,17 @@ func WithTelemetry(level TelemetryLevel) CompileOption {
 // level above TelemetryOff).
 func WithDebug(level DebugLevel) CompileOption {
 	return func(ro *reqOptions) { ro.debug = level }
+}
+
+// WithPipelineMicrobatches sets the pipeline depth M for CompileSharded:
+// the batch is split into M equal microbatches so pipeline stages
+// overlap across chips, at the price of the bubble term charged for
+// stage imbalance (scaleout.Partition.Price). The default (and any
+// value <= 1) is no pipelining — one batch walks the stages in
+// sequence, pure latency. Plain Compile ignores the option: a single
+// chip has no pipeline to fill.
+func WithPipelineMicrobatches(m int) CompileOption {
+	return func(ro *reqOptions) { ro.microbatches = m }
 }
 
 // WithDetachOnCancel converts cancellation from discarded work into

@@ -1,0 +1,210 @@
+package t10
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/perf"
+	"repro/internal/scaleout"
+)
+
+// ShardedExecutable is a model compiled across several chips of one
+// device generation: one single-chip Executable per pipeline stage plus
+// the partition that says how activations move between them. It is
+// simulatable end-to-end — per-stage chip simulation composed with the
+// interconnect transfer schedule.
+type ShardedExecutable struct {
+	Model *graph.Model
+	Spec  *device.Spec
+
+	// Partition is the winning candidate: stage ranges, tensor-parallel
+	// splits, boundary transfer schedule, priced totals. Its stage
+	// handles alias the entries of Stages.
+	Partition *scaleout.Partition
+
+	// Stages holds the per-chip executables, index-aligned with
+	// Partition.Stages. A stage with Split > 1 runs the same executable
+	// on each of its chips (row-split inputs, replicated weights).
+	Stages []*Executable
+
+	CompileTime time.Duration
+}
+
+// Chips returns how many chips the executable occupies.
+func (se *ShardedExecutable) Chips() int { return se.Partition.Chips }
+
+// ShardedReport is the end-to-end simulation of a ShardedExecutable:
+// per-stage single-chip reports composed through the partition's
+// pipeline model.
+type ShardedReport struct {
+	Model  string
+	Stages []*perf.Report
+
+	// ComputeNs is Σ simulated stage time; TransferNs the interconnect
+	// share (boundaries + all-gathers); BubbleNs the pipeline-imbalance
+	// share of the steady-state term; TotalNs the end-to-end time of one
+	// inference through the pipeline.
+	ComputeNs  float64
+	TransferNs float64
+	BubbleNs   float64
+	TotalNs    float64
+}
+
+// LatencyMs returns the end-to-end latency in milliseconds.
+func (r *ShardedReport) LatencyMs() float64 { return r.TotalNs / 1e6 }
+
+// Simulate lowers every stage onto its simulated chip and composes the
+// stage times through the partition's pipeline cost model
+// (scaleout.Partition.Price): transfers from the generation's
+// interconnect descriptor, a bubble term when the batch is
+// microbatched.
+func (se *ShardedExecutable) Simulate() *ShardedReport {
+	rep := &ShardedReport{Model: se.Model.Name}
+	stageNs := make([]float64, len(se.Stages))
+	for i, exe := range se.Stages {
+		sr := exe.Simulate()
+		rep.Stages = append(rep.Stages, sr)
+		stageNs[i] = sr.TotalNs
+		rep.ComputeNs += sr.TotalNs
+	}
+	rep.TotalNs, rep.TransferNs, rep.BubbleNs = se.Partition.Price(stageNs)
+	return rep
+}
+
+// ShardedResult is CompileShardedWithResult's full return: the
+// executable plus the outer search's accounting and the request
+// telemetry aggregated across every stage compile.
+type ShardedResult struct {
+	Executable *ShardedExecutable
+
+	// Search is the partition search outcome: the candidate list the
+	// simulator chose from and the enumeration counters.
+	Search *scaleout.Result
+
+	Telemetry Telemetry
+}
+
+// CompileSharded partitions m across nChips chips of the compiler's
+// device generation and compiles each pipeline stage with the ordinary
+// single-chip pipeline (intra-op Pareto search + inter-op
+// reconciliation, through the shared plan cache). The outer search
+// enumerates pipeline cuts and tensor-parallel row splits, prices every
+// candidate from the per-stage simulations plus the generation's
+// Interconnect transfer model, and the finalists are re-priced with
+// their simulated stage times so the simulator — not the analytic model
+// — picks the winner.
+//
+// nChips == 1 degenerates to the plain single-chip compile: the only
+// candidate is the whole model on one chip, compiled through exactly
+// the same path as Compile, so the resulting stage executable is
+// bit-identical to Compile's.
+//
+// A model too large for one chip (weights exceeding the SRAM) is the
+// motivating case: single-chip compiles of oversized stages fail with
+// *interop.InfeasibleError, those candidates are pruned, and a pipeline
+// cut that fits wins. When no candidate fits at all, the error is a
+// *scaleout.InfeasibleError wrapping the last per-stage cause.
+func (c *Compiler) CompileSharded(ctx context.Context, m *graph.Model, nChips int, opts ...CompileOption) (*ShardedExecutable, error) {
+	sr, err := c.CompileShardedWithResult(ctx, m, nChips, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sr.Executable, nil
+}
+
+// CompileShardedWithResult is CompileSharded returning the outer
+// search's accounting (candidates, enumeration counters) and the
+// request telemetry alongside the executable.
+func (c *Compiler) CompileShardedWithResult(ctx context.Context, m *graph.Model, nChips int, opts ...CompileOption) (*ShardedResult, error) {
+	ro := resolveReqOptions(opts)
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if nChips < 1 {
+		return nil, fmt.Errorf("t10: CompileSharded needs at least one chip, got %d", nChips)
+	}
+	if nChips > 1 && c.Spec.Interconnect == (device.Interconnect{}) {
+		return nil, fmt.Errorf("t10: device %s has no interconnect descriptor; cannot scale out to %d chips",
+			c.Spec.Name, nChips)
+	}
+	start := time.Now()
+	tel := Telemetry{Level: ro.telemetry, Debug: ro.debug}
+	leave, granted, wait, err := c.enter(ctx, ro.weight)
+	if err != nil {
+		return nil, err
+	}
+	defer leave()
+	tel.AdmissionWait = wait
+	tel.AdmissionWeight = granted
+	ctx = withCredit(ctx, granted)
+	col := ro.newCollector()
+
+	// The per-chip leaf of the outer search. Stage compiles are memoized
+	// by the search, so each (range, split) compiles and simulates once;
+	// the plan cache underneath makes repeated op shapes warm across
+	// stages. The whole-range unsplit stage is compiled from the
+	// original model value, so the single-chip candidate is exactly what
+	// Compile would have produced.
+	simulated := map[*Executable]*perf.Report{}
+	compile := func(sub *graph.Model) (any, float64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		if sub.Name == m.Name {
+			sub = m
+		}
+		exe, err := c.compileModel(ctx, ctx, sub, col, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		rep := exe.Simulate()
+		simulated[exe] = rep
+		return exe, rep.TotalNs, nil
+	}
+
+	res, err := scaleout.Search(m, c.Spec.Interconnect, scaleout.Config{
+		NChips:       nChips,
+		Microbatches: ro.microbatches,
+	}, compile)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, err
+	}
+
+	// Selection by simulation: re-price every finalist with its stages'
+	// simulated times and keep the winner. The analytic transfer model
+	// still prices the interconnect share — only the stage compute is
+	// replaced by measurement.
+	best, bestNs := res.Best, math.Inf(1)
+	for _, cand := range res.Candidates {
+		stageNs := make([]float64, len(cand.Stages))
+		for i := range cand.Stages {
+			stageNs[i] = simulated[cand.Stages[i].Handle.(*Executable)].TotalNs
+		}
+		if total, _, _ := cand.Price(stageNs); total < bestNs {
+			best, bestNs = cand, total
+		}
+	}
+
+	stages := make([]*Executable, len(best.Stages))
+	for i := range best.Stages {
+		stages[i] = best.Stages[i].Handle.(*Executable)
+	}
+	tel.fill(col)
+	tel.Wall = time.Since(start)
+	return &ShardedResult{
+		Executable: &ShardedExecutable{
+			Model: m, Spec: c.Spec,
+			Partition: best, Stages: stages,
+			CompileTime: time.Since(start),
+		},
+		Search:    res,
+		Telemetry: tel,
+	}, nil
+}

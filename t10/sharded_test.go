@@ -1,0 +1,188 @@
+package t10
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/dtype"
+	"repro/internal/expr"
+	"repro/internal/graph"
+	"repro/internal/interop"
+	"repro/internal/scaleout"
+)
+
+// shardedChain builds a linear model of n rows×dim×dim matmuls, each
+// with its own weight.
+func shardedChain(name string, n, rows, dim int) *graph.Model {
+	m := &graph.Model{Name: name, BatchSize: 1}
+	for i := 0; i < n; i++ {
+		src := i - 1
+		if i == 0 {
+			src = graph.External
+		}
+		m.Ops = append(m.Ops, graph.Op{
+			Name:         fmt.Sprintf("mm%d", i),
+			Expr:         expr.MatMul(fmt.Sprintf("%s-mm%d", name, i), rows, dim, dim, dtype.FP16),
+			WeightInputs: []int{1},
+			Sources:      []int{src, graph.External},
+			Repeat:       1,
+		})
+	}
+	return m
+}
+
+func TestShardedEquivalence(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("one chip is bit-identical to plain Compile", func(t *testing.T) {
+		c := mk2Compiler(t)
+		m := shardedChain("eq1", 3, 256, 512)
+		plain, err := c.Compile(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, err := c.CompileSharded(ctx, m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(se.Stages) != 1 || se.Chips() != 1 {
+			t.Fatalf("1-chip sharded compile produced %d stages on %d chips",
+				len(se.Stages), se.Chips())
+		}
+		if se.Stages[0].Model != m {
+			t.Fatal("1-chip stage did not compile the original model")
+		}
+		if !reflect.DeepEqual(se.Stages[0].Schedule, plain.Schedule) {
+			t.Fatal("1-chip sharded schedule differs from plain Compile")
+		}
+		if !reflect.DeepEqual(se.Stages[0].Plans, plain.Plans) {
+			t.Fatal("1-chip sharded plans differ from plain Compile")
+		}
+		rep := se.Simulate()
+		if rep.TransferNs != 0 || rep.BubbleNs != 0 {
+			t.Fatalf("1-chip simulation charges transfer %g / bubble %g",
+				rep.TransferNs, rep.BubbleNs)
+		}
+		if plainNs := plain.Simulate().TotalNs; rep.TotalNs != plainNs {
+			t.Fatalf("1-chip simulated %g, plain %g", rep.TotalNs, plainNs)
+		}
+	})
+
+	t.Run("multi-chip at least matches single-chip", func(t *testing.T) {
+		c := mk2Compiler(t)
+		m := shardedChain("eq2", 4, 1024, 2048)
+		plain, err := c.Compile(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single := plain.Simulate().TotalNs
+		sr, err := c.CompileShardedWithResult(ctx, m, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se := sr.Executable
+		rep := se.Simulate()
+		if rep.TotalNs <= 0 || math.IsInf(rep.TotalNs, 0) || math.IsNaN(rep.TotalNs) {
+			t.Fatalf("sharded simulation = %g, want finite positive", rep.TotalNs)
+		}
+		// the whole-model single-chip candidate is always enumerated and
+		// selection is by simulated price, so multi-chip can never lose
+		if rep.TotalNs > single*(1+1e-9) {
+			t.Fatalf("2-chip simulated %g worse than single-chip %g", rep.TotalNs, single)
+		}
+		if sr.Search.Enumerated < 2 {
+			t.Fatalf("outer search enumerated only %d candidates", sr.Search.Enumerated)
+		}
+		t.Logf("2-chip: %.3f ms vs single %.3f ms (%d stages, %d chips, %d candidates)",
+			rep.LatencyMs(), single/1e6, len(se.Stages), se.Chips(), sr.Search.Enumerated)
+	})
+
+	t.Run("model too large for one chip shards finitely", func(t *testing.T) {
+		// a generation with starved per-core SRAM: every op fits a chip on
+		// its own, but the chain's reconciled resident set (all stages'
+		// weights live on-chip at once) does not — only a pipeline cut
+		// shrinks the footprint
+		spec := device.IPUMK2()
+		small := *spec
+		small.Name = "MK2-TINY"
+		small.Cores = 64
+		small.CoreMemBytes = 128 << 10
+		c, err := New(&small, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := shardedChain("eq3", 4, 512, 1024)
+		if _, err := c.Compile(ctx, m); err == nil {
+			t.Fatal("oversized model compiled on one starved chip")
+		} else {
+			var ie *interop.InfeasibleError
+			if !errors.As(err, &ie) {
+				t.Fatalf("plain compile err = %T %v, want *interop.InfeasibleError", err, err)
+			}
+		}
+		if _, err := c.CompileSharded(ctx, m, 1); err == nil {
+			t.Fatal("1-chip sharded compile of oversized model succeeded")
+		} else {
+			var se *scaleout.InfeasibleError
+			if !errors.As(err, &se) {
+				t.Fatalf("1-chip sharded err = %T %v, want *scaleout.InfeasibleError", err, err)
+			}
+		}
+		se, err := c.CompileSharded(ctx, m, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(se.Stages) < 2 {
+			t.Fatalf("oversized model sharded into %d stages, want a pipeline cut", len(se.Stages))
+		}
+		rep := se.Simulate()
+		if rep.TotalNs <= 0 || math.IsInf(rep.TotalNs, 0) || math.IsNaN(rep.TotalNs) {
+			t.Fatalf("sharded simulation = %g, want finite positive", rep.TotalNs)
+		}
+		if rep.TransferNs <= 0 {
+			t.Fatal("pipeline cut simulated no interconnect transfer")
+		}
+		t.Logf("oversized model: %d stages on %d chips, %.3f ms (%.0f%% transfer)",
+			len(se.Stages), se.Chips(), rep.LatencyMs(), 100*rep.TransferNs/rep.TotalNs)
+	})
+}
+
+func TestShardedMicrobatchesReported(t *testing.T) {
+	c := mk2Compiler(t)
+	m := shardedChain("mb", 4, 1024, 1024)
+	se, err := c.CompileSharded(context.Background(), m, 2, WithPipelineMicrobatches(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.Partition.Microbatches != 8 {
+		t.Fatalf("Microbatches = %d, want 8", se.Partition.Microbatches)
+	}
+	rep := se.Simulate()
+	if rep.TotalNs <= 0 {
+		t.Fatal("no latency")
+	}
+}
+
+func TestShardedRejectsMissingInterconnect(t *testing.T) {
+	spec := device.IPUMK2()
+	bare := *spec
+	bare.Name = "MK2-NOIC"
+	bare.Interconnect = device.Interconnect{}
+	c, err := New(&bare, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := shardedChain("noic", 2, 256, 512)
+	if _, err := c.CompileSharded(context.Background(), m, 2); err == nil {
+		t.Fatal("2-chip compile without an interconnect descriptor succeeded")
+	}
+	// one chip needs no fabric
+	if _, err := c.CompileSharded(context.Background(), m, 1); err != nil {
+		t.Fatal(err)
+	}
+}
